@@ -1,0 +1,218 @@
+// Package vanguard's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index).
+// Each benchmark runs the corresponding experiment once per b.N iteration
+// and reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. The -short variants used by the unit
+// test suite shrink inputs; benchmarks run the full configuration.
+package vanguard_test
+
+import (
+	"io"
+	"testing"
+
+	"vanguard/internal/harness"
+	"vanguard/internal/metrics"
+	"vanguard/internal/workload"
+)
+
+func benchOptions() harness.Options {
+	o := harness.DefaultOptions()
+	return o
+}
+
+// suiteGeomean runs a whole suite at the given widths and returns the
+// per-width geomean speedups.
+func suiteGeomean(b *testing.B, suite string, widths []int, bestRef bool) map[int]float64 {
+	b.Helper()
+	o := benchOptions()
+	o.Widths = widths
+	rs, err := harness.RunSuite(suite, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := map[int]float64{}
+	for _, w := range widths {
+		var ss []float64
+		for _, r := range rs {
+			if bestRef {
+				ss = append(ss, r.SpeedupBestRefPct(w))
+			} else {
+				ss = append(ss, r.SpeedupAllRefsPct(w))
+			}
+		}
+		out[w] = metrics.GeomeanSpeedupPct(ss)
+	}
+	return out
+}
+
+// BenchmarkFig2PredictabilityVsBiasInt regenerates Figure 2.
+func BenchmarkFig2PredictabilityVsBiasInt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cur, err := harness.BiasPredictabilityCurve("int2006", workload.TrainInput())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tail := harness.CurvePoints - 1
+		b.ReportMetric(cur.Bias[tail], "tail-bias")
+		b.ReportMetric(cur.Predictability[tail], "tail-predictability")
+	}
+}
+
+// BenchmarkFig3PredictabilityVsBiasFP regenerates Figure 3.
+func BenchmarkFig3PredictabilityVsBiasFP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cur, err := harness.BiasPredictabilityCurve("fp2006", workload.TrainInput())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tail := harness.CurvePoints - 1
+		b.ReportMetric(cur.Bias[tail], "tail-bias")
+		b.ReportMetric(cur.Predictability[tail], "tail-predictability")
+	}
+}
+
+// BenchmarkTable2Metrics regenerates Table 2 (SPEC 2006 INT+FP at 4-wide).
+func BenchmarkTable2Metrics(b *testing.B) {
+	o := benchOptions()
+	o.Widths = []int{4}
+	for i := 0; i < b.N; i++ {
+		var all []*harness.BenchResult
+		for _, s := range []string{"int2006", "fp2006"} {
+			rs, err := harness.RunSuite(s, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			all = append(all, rs...)
+		}
+		harness.WriteTable2(io.Discard, all)
+		var spds []float64
+		for _, r := range all {
+			spds = append(spds, r.SpeedupAllRefsPct(4))
+		}
+		b.ReportMetric(metrics.GeomeanSpeedupPct(spds), "geomean-spd-%")
+	}
+}
+
+// BenchmarkFig8SpeedupInt2006 regenerates Figure 8 (all widths, all refs).
+func BenchmarkFig8SpeedupInt2006(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := suiteGeomean(b, "int2006", []int{2, 4, 8}, false)
+		b.ReportMetric(g[2], "geomean-w2-%")
+		b.ReportMetric(g[4], "geomean-w4-%")
+		b.ReportMetric(g[8], "geomean-w8-%")
+	}
+}
+
+// BenchmarkFig9BestRefInt2006 regenerates Figure 9 (best REF input).
+func BenchmarkFig9BestRefInt2006(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := suiteGeomean(b, "int2006", []int{4}, true)
+		b.ReportMetric(g[4], "geomean-w4-best-%")
+	}
+}
+
+// BenchmarkFig10SpeedupInt2000 regenerates Figure 10.
+func BenchmarkFig10SpeedupInt2000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := suiteGeomean(b, "int2000", []int{2, 4, 8}, false)
+		b.ReportMetric(g[4], "geomean-w4-%")
+	}
+}
+
+// BenchmarkFig11BestRefInt2000 regenerates Figure 11.
+func BenchmarkFig11BestRefInt2000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := suiteGeomean(b, "int2000", []int{4}, true)
+		b.ReportMetric(g[4], "geomean-w4-best-%")
+	}
+}
+
+// BenchmarkFig12SpeedupFP2006 regenerates Figure 12.
+func BenchmarkFig12SpeedupFP2006(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := suiteGeomean(b, "fp2006", []int{2, 4, 8}, false)
+		b.ReportMetric(g[4], "geomean-w4-%")
+	}
+}
+
+// BenchmarkFig13SpeedupFP2000 regenerates Figure 13.
+func BenchmarkFig13SpeedupFP2000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := suiteGeomean(b, "fp2000", []int{2, 4, 8}, false)
+		b.ReportMetric(g[4], "geomean-w4-%")
+	}
+}
+
+// BenchmarkFig14IssuedIncrease regenerates Figure 14.
+func BenchmarkFig14IssuedIncrease(b *testing.B) {
+	o := benchOptions()
+	o.Widths = []int{4}
+	for i := 0; i < b.N; i++ {
+		rs, err := harness.RunSuite("int2006", o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rs {
+			sum += r.IssuedIncreasePct()
+		}
+		b.ReportMetric(sum/float64(len(rs)), "mean-issued-increase-%")
+	}
+}
+
+// BenchmarkSensitivityPredictorLadder regenerates the Section 5.3 study.
+func BenchmarkSensitivityPredictorLadder(b *testing.B) {
+	o := benchOptions()
+	o.Widths = []int{4}
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Sensitivity(harness.SensitivityBenchmarks(), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.WriteSensitivity(io.Discard, rows)
+		// Headline: speedup gain from the bottom to the top of the ladder,
+		// averaged over the four benchmarks.
+		per := len(rows) / len(harness.SensitivityBenchmarks())
+		gain := 0.0
+		for k := 0; k < len(rows); k += per {
+			gain += rows[k+per-1].SpeedupPct - rows[k].SpeedupPct
+		}
+		b.ReportMetric(gain/float64(len(harness.SensitivityBenchmarks())), "ladder-speedup-gain-%")
+	}
+}
+
+// BenchmarkSec61CodeSizeICache regenerates the Section 6.1 study.
+func BenchmarkSec61CodeSizeICache(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RunICacheStudy("int2006", o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.WriteICacheStudy(io.Discard, rows)
+		var ratios []float64
+		for _, r := range rows {
+			ratios = append(ratios, 1+r.SlowdownPct/100)
+		}
+		b.ReportMetric((metrics.Geomean(ratios)-1)*100, "geomean-icache-slowdown-%")
+	}
+}
+
+// BenchmarkTable1Machine measures raw simulator throughput on the Table 1
+// configuration — cycles simulated per second on a representative
+// benchmark — so substrate performance regressions are visible.
+func BenchmarkTable1Machine(b *testing.B) {
+	c, _ := workload.ByName("perlbench")
+	o := benchOptions()
+	o.Widths = []int{4}
+	o.Verify = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunBenchmark(c, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command ablate runs the design-choice ablations DESIGN.md calls out:
+// the 5% selection threshold, the hoisting depth, the 16-entry DBB, and
+// the condition-slice push-down.
+//
+//	ablate -sweep gap|hoist|dbb|slice|all [-fast]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"vanguard/internal/harness"
+	"vanguard/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablate: ")
+	sweep := flag.String("sweep", "all", "gap | hoist | dbb | slice | all")
+	fast := flag.Bool("fast", false, "reduced inputs")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	if *fast {
+		o.TrainInput = workload.Input{Seed: 101, Iters: 800}
+		o.RefInputs = []workload.Input{{Seed: 202, Iters: 1000}}
+	}
+	names := harness.AblationBenchmarks()
+
+	run := func(kind string) {
+		switch kind {
+		case "gap":
+			pts, err := harness.SweepMinGap(names, o, []float64{0, 0.02, 0.05, 0.10, 0.20})
+			if err != nil {
+				log.Fatal(err)
+			}
+			harness.WriteAblation(os.Stdout,
+				"Selection threshold sweep (paper: predictability-bias >= 5% is best)", pts)
+		case "hoist":
+			pts, err := harness.SweepMaxHoist(names, o, []int{0, 2, 4, 8, 12, 16})
+			if err != nil {
+				log.Fatal(err)
+			}
+			harness.WriteAblation(os.Stdout, "Hoist depth sweep", pts)
+		case "dbb":
+			pts, err := harness.SweepDBBSize(names, o, []int{2, 4, 8, 16, 32})
+			if err != nil {
+				log.Fatal(err)
+			}
+			harness.WriteAblation(os.Stdout,
+				"DBB size sweep (paper: 16 entries more than sufficient)", pts)
+		case "slice":
+			pts, err := harness.SlicePushdownAblation(names, o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			harness.WriteAblation(os.Stdout, "Condition-slice push-down ablation", pts)
+		default:
+			log.Fatalf("unknown sweep %q", kind)
+		}
+	}
+	if *sweep == "all" {
+		for _, k := range []string{"gap", "hoist", "dbb", "slice"} {
+			run(k)
+		}
+		return
+	}
+	run(*sweep)
+}

@@ -1,0 +1,68 @@
+// Command figures regenerates the characterization figures and the
+// predictor-sensitivity study:
+//
+//	figures -fig 2            predictability vs bias, SPEC 2006 Integer
+//	figures -fig 3            predictability vs bias, SPEC 2006 FP
+//	figures -sensitivity      Section 5.3 predictor ladder on the four
+//	                          hard-to-predict integer benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vanguard/internal/harness"
+	"vanguard/internal/textplot"
+	"vanguard/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig         = flag.Int("fig", 0, "figure to regenerate (2 or 3)")
+		sensitivity = flag.Bool("sensitivity", false, "run the Section 5.3 predictor ladder")
+		fast        = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
+		plot        = flag.Bool("plot", false, "render ASCII charts instead of tables")
+	)
+	flag.Parse()
+
+	in := workload.TrainInput()
+	o := harness.DefaultOptions()
+	if *fast {
+		in.Iters = 1200
+		o.TrainInput = workload.Input{Seed: 101, Iters: 800}
+		o.RefInputs = []workload.Input{{Seed: 202, Iters: 1000}}
+		o.Widths = []int{4}
+	}
+
+	switch {
+	case *fig == 2 || *fig == 3:
+		suite, title := "int2006", "Figure 2: predictability vs bias, top forward branches, SPEC 2006 Int"
+		if *fig == 3 {
+			suite, title = "fp2006", "Figure 3: predictability vs bias, top forward branches, SPEC 2006 FP"
+		}
+		cur, err := harness.BiasPredictabilityCurve(suite, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *plot {
+			textplot.Series(os.Stdout, title, [2]string{"bias", "predictability"},
+				[2][]float64{cur.Bias, cur.Predictability}, 75, 18)
+		} else {
+			cur.Write(os.Stdout, title)
+		}
+	case *sensitivity:
+		rows, err := harness.Sensitivity(harness.SensitivityBenchmarks(), o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.WriteSensitivity(os.Stdout, rows)
+	default:
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "need -fig 2, -fig 3, or -sensitivity")
+		os.Exit(2)
+	}
+}

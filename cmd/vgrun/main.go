@@ -1,0 +1,96 @@
+// Command vgrun assembles a vanguard assembly file and runs it — on the
+// golden-model interpreter, on the Table 1 cycle-level machine, or both —
+// optionally applying the Decomposed Branch Transformation first.
+//
+//	vgrun prog.s                      # interpret + simulate, print stats
+//	vgrun -width 8 prog.s             # 8-wide machine
+//	vgrun -transform prog.s           # profile, decompose, then simulate
+//	vgrun -dump -transform prog.s     # print the transformed assembly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vanguard/internal/asm"
+	"vanguard/internal/core"
+	"vanguard/internal/interp"
+	"vanguard/internal/ir"
+	"vanguard/internal/mem"
+	"vanguard/internal/pipeline"
+	"vanguard/internal/profile"
+	"vanguard/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vgrun: ")
+	var (
+		width     = flag.Int("width", 4, "issue width")
+		transform = flag.Bool("transform", false, "apply the decomposed branch transformation (profile-guided)")
+		dump      = flag.Bool("dump", false, "print the (possibly transformed) assembly and exit")
+		maxInstrs = flag.Int64("max-instrs", 50_000_000, "functional instruction cap")
+		trace     = flag.Bool("trace", false, "print per-instruction issue/mispredict events from the timing run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: vgrun [flags] prog.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := asm.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *transform {
+		prof, err := profile.CollectDefault(ir.MustLinearize(p), mem.New(), *maxInstrs)
+		if err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		rep, err := core.Transform(p, prof, core.DefaultOptions())
+		if err != nil {
+			log.Fatalf("transform: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "converted %d branch(es), code size %+.1f%%\n",
+			len(rep.Converted), rep.PISCS())
+		sched.Program(p, sched.DefaultModel(*width))
+	}
+	if *dump {
+		fmt.Print(asm.Format(p))
+		return
+	}
+
+	im := ir.MustLinearize(p)
+	gm := mem.New()
+	gst, fstats, err := interp.Run(im, gm, interp.Options{MaxInstrs: *maxInstrs})
+	if err != nil {
+		log.Fatalf("interpret: %v", err)
+	}
+	fmt.Printf("functional: %d instructions, %d branches (%d taken), halted=%v\n",
+		fstats.Instrs, fstats.Branches, fstats.Taken, gst.Halted)
+
+	mach := pipeline.New(im, mem.New(), pipeline.DefaultConfig(*width))
+	if *trace {
+		mach.Trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	st, err := mach.Run()
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	if !mach.Memory().Equal(gm) {
+		log.Fatal("timing simulation diverged from the golden model")
+	}
+	fmt.Printf("timing:     %d cycles, IPC %.3f, %d issued (%d wrong-path), MPKI %.2f\n",
+		st.Cycles, st.IPC(), st.Issued, st.WrongPathIssued, st.MPKI())
+	if st.Predicts > 0 {
+		fmt.Printf("decomposed: %d predicts, %d resolves, %d repairs, DBB high-water %d\n",
+			st.Predicts, st.Resolves, st.ResMispredicts, st.MaxDBBOccupancy)
+	}
+}

@@ -1,0 +1,47 @@
+; Dot product with a predictable-but-unbiased sparsity check, written in
+; vanguard assembly. Try:
+;
+;   go run ./cmd/vgrun examples/asm/dotproduct.s
+;   go run ./cmd/vgrun -transform -dump examples/asm/dotproduct.s
+;   go run ./cmd/vgrun -transform examples/asm/dotproduct.s
+;
+; The branch #1 skips the multiply for zero entries; its outcome depends on
+; the (initially zero) data, so with untouched memory it is fully biased —
+; load real vectors at 0x100000/0x140000 to make it interesting.
+func main
+init:
+	li      r0, 0
+	li      r1, 0           ; i
+	li      r2, 512         ; n
+	li      r3, 1048576     ; &x[0]
+	li      r4, 1310720     ; &y[0]
+	li      r10, 0          ; acc
+loop:
+	muli    r5, r1, 8
+	add     r6, r5, r3
+	ld      r7, 0(r6)       ; x[i]
+	cmpne   r8, r7, r0
+	br      r8, dense #1    ; nonzero -> do the multiply
+sparse:
+	jmp     next
+dense:
+	add     r9, r5, r4
+	ld      r11, 0(r9)      ; y[i]
+	mul     r12, r7, r11
+	add     r10, r10, r12
+next:
+	addi    r1, r1, 1
+	cmplt   r8, r1, r2
+	br      r8, loop #2
+done:
+	li      r13, 16777216   ; out
+	st      0(r13), r10
+	call    finish
+	halt
+endfunc
+
+func finish
+entry:
+	addi    r20, r20, 1
+	ret
+endfunc

@@ -1,0 +1,3 @@
+module vanguard
+
+go 1.22

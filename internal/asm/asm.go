@@ -1,0 +1,450 @@
+// Package asm implements a textual assembler and formatter for vanguard
+// programs, so kernels can be written, dumped, diffed, and re-run as
+// plain text. The syntax mirrors the disassembly:
+//
+//	; line comment (also //)
+//	func main
+//	init:
+//	        li      r1, 0
+//	        li      r2, 4096
+//	loop:
+//	        ld      r3, 0(r2)
+//	        ld.s    r4, 8(r2)
+//	        addi    r1, r1, 1
+//	        cmplt   r5, r1, r3
+//	        br      r5, loop #7
+//	        predict hot #9
+//	cold:
+//	        resolve r5, nt, fixup #9
+//	        st      16(r2), r1
+//	        cmov    r3, r5, r4
+//	        call    helper
+//	        jmp     done
+//	...
+//	endfunc
+//
+// Labels name basic blocks within the enclosing func; `br`, `jmp`,
+// `predict`, and `resolve` take block labels, `call` takes a function
+// name, and `#n` attaches a branch ID. `resolve` takes `t` or `nt` for the
+// direction the surrounding path assumed.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type pendingTarget struct {
+	fn    *ir.Func
+	block int
+	instr int
+	label string // block label, or function name for CALL
+	isFn  bool
+	line  int
+}
+
+// Parse assembles source text into a program.
+func Parse(src string) (*ir.Program, error) {
+	p := &ir.Program{}
+	fnIndex := map[string]int{}
+	var pendings []pendingTarget
+	blockIndex := map[string]int{} // labels of the current function
+
+	var cur *ir.Func
+	curBlock := -1
+	anon := 0
+
+	fail := func(line int, format string, args ...any) error {
+		return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	ensureBlock := func(label string) int {
+		if label == "" {
+			label = fmt.Sprintf(".anon%d", anon)
+			anon++
+		}
+		idx := cur.AddBlock(label)
+		blockIndex[label] = idx
+		curBlock = idx
+		return idx
+	}
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		text := raw
+		if i := strings.IndexAny(text, ";"); i >= 0 {
+			text = text[:i]
+		}
+		if i := strings.Index(text, "//"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+
+		switch {
+		case strings.HasPrefix(text, "func "):
+			if cur != nil {
+				return nil, fail(line, "nested func (missing endfunc?)")
+			}
+			name := strings.TrimSpace(strings.TrimPrefix(text, "func "))
+			if name == "" {
+				return nil, fail(line, "func needs a name")
+			}
+			if _, dup := fnIndex[name]; dup {
+				return nil, fail(line, "duplicate function %q", name)
+			}
+			cur = &ir.Func{Name: name}
+			fnIndex[name] = p.AddFunc(cur)
+			blockIndex = map[string]int{}
+			curBlock = -1
+			continue
+		case text == "endfunc":
+			if cur == nil {
+				return nil, fail(line, "endfunc outside func")
+			}
+			cur, curBlock = nil, -1
+			continue
+		}
+		if cur == nil {
+			return nil, fail(line, "instruction outside func")
+		}
+
+		if strings.HasSuffix(text, ":") {
+			label := strings.TrimSuffix(text, ":")
+			if label == "" {
+				return nil, fail(line, "empty label")
+			}
+			if _, dup := blockIndex[label]; dup {
+				return nil, fail(line, "duplicate label %q", label)
+			}
+			ensureBlock(label)
+			continue
+		}
+
+		// An instruction. Start a fresh block if needed (entry, or after a
+		// terminator with no explicit label).
+		if curBlock < 0 {
+			ensureBlock("")
+		} else if term, ok := cur.Blocks[curBlock].Terminator(); ok {
+			_ = term
+			ensureBlock("")
+		}
+
+		ins, targetLabel, isFn, err := parseInstr(text, line)
+		if err != nil {
+			return nil, err
+		}
+		cur.Emit(curBlock, ins)
+		if targetLabel != "" {
+			pendings = append(pendings, pendingTarget{
+				fn: cur, block: curBlock, instr: len(cur.Blocks[curBlock].Instrs) - 1,
+				label: targetLabel, isFn: isFn, line: line,
+			})
+		}
+		// Block labels are function-local; fix them per pending entry below.
+		if targetLabel != "" && !isFn {
+			pendings[len(pendings)-1].fn = cur
+		}
+	}
+	if cur != nil {
+		return nil, fail(len(strings.Split(src, "\n")), "missing endfunc")
+	}
+
+	// Resolve symbolic targets. Block labels resolve within their function;
+	// rebuild each function's label map on demand.
+	labelsOf := map[*ir.Func]map[string]int{}
+	for _, f := range p.Funcs {
+		m := map[string]int{}
+		for i, b := range f.Blocks {
+			m[b.Label] = i
+		}
+		labelsOf[f] = m
+	}
+	for _, pd := range pendings {
+		var idx int
+		var ok bool
+		if pd.isFn {
+			idx, ok = fnIndex[pd.label]
+		} else {
+			idx, ok = labelsOf[pd.fn][pd.label]
+		}
+		if !ok {
+			return nil, &ParseError{Line: pd.line, Msg: fmt.Sprintf("undefined target %q", pd.label)}
+		}
+		pd.fn.Blocks[pd.block].Instrs[pd.instr].Target = idx
+	}
+
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+// splitOperands splits "a, b, c" respecting no nesting (the grammar has
+// none).
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string, line int) (isa.Reg, error) {
+	if len(s) < 2 {
+		return isa.NoReg, &ParseError{Line: line, Msg: fmt.Sprintf("bad register %q", s)}
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return isa.NoReg, &ParseError{Line: line, Msg: fmt.Sprintf("bad register %q", s)}
+	}
+	switch s[0] {
+	case 'r':
+		if n < 0 || n >= isa.NumIntRegs {
+			return isa.NoReg, &ParseError{Line: line, Msg: fmt.Sprintf("register %q out of range", s)}
+		}
+		return isa.R(n), nil
+	case 'f':
+		if n < 0 || n >= isa.NumFPRegs {
+			return isa.NoReg, &ParseError{Line: line, Msg: fmt.Sprintf("register %q out of range", s)}
+		}
+		return isa.F(n), nil
+	}
+	return isa.NoReg, &ParseError{Line: line, Msg: fmt.Sprintf("bad register %q", s)}
+}
+
+func parseImm(s string, line int) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, &ParseError{Line: line, Msg: fmt.Sprintf("bad immediate %q", s)}
+	}
+	return v, nil
+}
+
+// parseMem parses "imm(rB)".
+func parseMem(s string, line int) (base isa.Reg, off int64, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return isa.NoReg, 0, &ParseError{Line: line, Msg: fmt.Sprintf("bad memory operand %q", s)}
+	}
+	off, err = parseImm(strings.TrimSpace(s[:open]), line)
+	if err != nil {
+		return isa.NoReg, 0, err
+	}
+	base, err = parseReg(strings.TrimSpace(s[open+1:len(s)-1]), line)
+	return base, off, err
+}
+
+// stripID pulls a trailing "#n" branch ID off the operand list.
+func stripID(ops []string, line int) ([]string, int, error) {
+	if len(ops) == 0 {
+		return ops, 0, nil
+	}
+	last := ops[len(ops)-1]
+	if i := strings.Index(last, "#"); i >= 0 {
+		id, err := parseImm(strings.TrimSpace(last[i+1:]), line)
+		if err != nil {
+			return nil, 0, err
+		}
+		last = strings.TrimSpace(last[:i])
+		out := append([]string{}, ops[:len(ops)-1]...)
+		if last != "" {
+			out = append(out, last)
+		}
+		return out, int(id), nil
+	}
+	return ops, 0, nil
+}
+
+var threeOp = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL, "div": isa.DIV, "rem": isa.REM,
+	"and": isa.AND, "or": isa.OR, "xor": isa.XOR, "shl": isa.SHL, "shr": isa.SHR,
+	"cmpeq": isa.CMPEQ, "cmpne": isa.CMPNE, "cmplt": isa.CMPLT,
+	"cmple": isa.CMPLE, "cmpgt": isa.CMPGT, "cmpge": isa.CMPGE,
+	"fadd": isa.FADD, "fsub": isa.FSUB, "fmul": isa.FMUL, "fdiv": isa.FDIV,
+	"fcmplt": isa.FCMPLT, "fcmpge": isa.FCMPGE,
+}
+
+var twoOpImm = map[string]isa.Op{"addi": isa.ADDI, "muli": isa.MULI, "andi": isa.ANDI}
+
+var oneOp = map[string]isa.Op{"mov": isa.MOV, "fmov": isa.FMOV, "cvtif": isa.CVTIF, "cvtfi": isa.CVTFI}
+
+// parseInstr assembles a single instruction; targetLabel is non-empty for
+// symbolic control flow (isFn marks a function target).
+func parseInstr(text string, line int) (ins isa.Instr, targetLabel string, isFn bool, err error) {
+	ins.Target = -1
+	mnemonic, rest, _ := strings.Cut(text, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	ops := splitOperands(rest)
+	var id int
+	ops, id, err = stripID(ops, line)
+	if err != nil {
+		return ins, "", false, err
+	}
+	ins.BranchID = id
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return &ParseError{Line: line, Msg: fmt.Sprintf("%s wants %d operands, got %d", mnemonic, n, len(ops))}
+		}
+		return nil
+	}
+
+	switch {
+	case mnemonic == "nop":
+		ins.Op = isa.NOP
+		return ins, "", false, need(0)
+	case mnemonic == "halt":
+		ins.Op = isa.HALT
+		return ins, "", false, need(0)
+	case mnemonic == "ret":
+		ins.Op = isa.RET
+		ins.Src1 = isa.R(isa.NumIntRegs - 1)
+		return ins, "", false, need(0)
+	case mnemonic == "li":
+		if err = need(2); err != nil {
+			return
+		}
+		ins.Op = isa.LI
+		if ins.Dst, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		ins.Imm, err = parseImm(ops[1], line)
+		return
+	case threeOp[mnemonic] != 0:
+		if err = need(3); err != nil {
+			return
+		}
+		ins.Op = threeOp[mnemonic]
+		if ins.Dst, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		if ins.Src1, err = parseReg(ops[1], line); err != nil {
+			return
+		}
+		ins.Src2, err = parseReg(ops[2], line)
+		return
+	case twoOpImm[mnemonic] != 0:
+		if err = need(3); err != nil {
+			return
+		}
+		ins.Op = twoOpImm[mnemonic]
+		if ins.Dst, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		if ins.Src1, err = parseReg(ops[1], line); err != nil {
+			return
+		}
+		ins.Imm, err = parseImm(ops[2], line)
+		return
+	case oneOp[mnemonic] != 0:
+		if err = need(2); err != nil {
+			return
+		}
+		ins.Op = oneOp[mnemonic]
+		if ins.Dst, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		ins.Src1, err = parseReg(ops[1], line)
+		return
+	case mnemonic == "ld" || mnemonic == "ld.s":
+		if err = need(2); err != nil {
+			return
+		}
+		ins.Op = isa.LD
+		if mnemonic == "ld.s" {
+			ins.Op = isa.LDS
+		}
+		if ins.Dst, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		ins.Src1, ins.Imm, err = parseMem(ops[1], line)
+		return
+	case mnemonic == "st":
+		if err = need(2); err != nil {
+			return
+		}
+		ins.Op = isa.ST
+		if ins.Src1, ins.Imm, err = parseMem(ops[0], line); err != nil {
+			return
+		}
+		ins.Src2, err = parseReg(ops[1], line)
+		return
+	case mnemonic == "cmov":
+		if err = need(3); err != nil {
+			return
+		}
+		ins.Op = isa.CMOV
+		if ins.Dst, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		if ins.Src1, err = parseReg(ops[1], line); err != nil {
+			return
+		}
+		ins.Src2, err = parseReg(ops[2], line)
+		return
+	case mnemonic == "br":
+		if err = need(2); err != nil {
+			return
+		}
+		ins.Op = isa.BR
+		if ins.Src1, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		return ins, ops[1], false, nil
+	case mnemonic == "jmp":
+		if err = need(1); err != nil {
+			return
+		}
+		ins.Op = isa.JMP
+		return ins, ops[0], false, nil
+	case mnemonic == "call":
+		if err = need(1); err != nil {
+			return
+		}
+		ins.Op = isa.CALL
+		return ins, ops[0], true, nil
+	case mnemonic == "predict":
+		if err = need(1); err != nil {
+			return
+		}
+		ins.Op = isa.PREDICT
+		return ins, ops[0], false, nil
+	case mnemonic == "resolve":
+		if err = need(3); err != nil {
+			return
+		}
+		ins.Op = isa.RESOLVE
+		if ins.Src1, err = parseReg(ops[0], line); err != nil {
+			return
+		}
+		switch strings.ToLower(ops[1]) {
+		case "t", "taken":
+			ins.Expect = true
+		case "nt", "not-taken", "nottaken":
+			ins.Expect = false
+		default:
+			return ins, "", false, &ParseError{Line: line, Msg: fmt.Sprintf("resolve expects t|nt, got %q", ops[1])}
+		}
+		return ins, ops[2], false, nil
+	}
+	return ins, "", false, &ParseError{Line: line, Msg: fmt.Sprintf("unknown mnemonic %q", mnemonic)}
+}

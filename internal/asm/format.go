@@ -1,0 +1,89 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+)
+
+// Format renders a program as assembly text that Parse accepts, with
+// control-flow targets printed as block labels.
+func Format(p *ir.Program) string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "func %s\n", f.Name)
+		labels := uniqueLabels(f)
+		for bi, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:\n", labels[bi])
+			for _, ins := range b.Instrs {
+				fmt.Fprintf(&sb, "\t%s\n", formatInstr(p, f, labels, ins))
+			}
+		}
+		sb.WriteString("endfunc\n")
+	}
+	return sb.String()
+}
+
+// uniqueLabels returns parse-safe, unique labels for every block.
+func uniqueLabels(f *ir.Func) []string {
+	out := make([]string, len(f.Blocks))
+	seen := map[string]bool{}
+	for i, b := range f.Blocks {
+		label := sanitize(b.Label)
+		if label == "" {
+			label = fmt.Sprintf("b%d", i)
+		}
+		for seen[label] {
+			label = fmt.Sprintf("%s.%d", label, i)
+		}
+		seen[label] = true
+		out[i] = label
+	}
+	return out
+}
+
+// sanitize keeps label characters the parser tolerates.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-', r == '\'':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func formatInstr(p *ir.Program, f *ir.Func, labels []string, ins isa.Instr) string {
+	id := ""
+	if ins.BranchID != 0 {
+		id = fmt.Sprintf(" #%d", ins.BranchID)
+	}
+	switch ins.Op {
+	case isa.BR:
+		return fmt.Sprintf("br %s, %s%s", ins.Src1, labels[ins.Target], id)
+	case isa.JMP:
+		return fmt.Sprintf("jmp %s%s", labels[ins.Target], id)
+	case isa.CALL:
+		return fmt.Sprintf("call %s%s", p.Funcs[ins.Target].Name, id)
+	case isa.PREDICT:
+		return fmt.Sprintf("predict %s%s", labels[ins.Target], id)
+	case isa.RESOLVE:
+		dir := "nt"
+		if ins.Expect {
+			dir = "t"
+		}
+		return fmt.Sprintf("resolve %s, %s, %s%s", ins.Src1, dir, labels[ins.Target], id)
+	case isa.RET:
+		return "ret"
+	default:
+		// The ISA disassembly for non-control instructions is already in
+		// the accepted grammar.
+		return ins.String()
+	}
+}

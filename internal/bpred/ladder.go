@@ -1,0 +1,56 @@
+package bpred
+
+// Ladder returns the Section 5.3 sensitivity sequence of ever-improving
+// direction predictors, from a small bimodal up to the 64KB ISL-TAGE-class
+// design. Each call constructs fresh (untrained) predictors.
+func Ladder() []DirPredictor {
+	return []DirPredictor{
+		NewGShare(14, 12), // 4KB gshare
+		NewGShare(15, 12), // 8KB gshare
+		NewDefault(),      // 24KB 3-table (Table 1 baseline)
+		NewTAGE(14, 11, 10, []int{4, 8, 16, 32, 64, 128}),           // ~27KB TAGE
+		NewTAGE(14, 12, 10, []int{4, 8, 16, 32, 64, 128}),           // ~50KB TAGE
+		NewISLTAGE(14, 12, 12, []int{4, 8, 16, 32, 64, 128}, 6, 12), // ~64KB ISL-TAGE
+	}
+}
+
+// LadderSpec names one rung of the sensitivity ladder with a constructor,
+// so harnesses can instantiate fresh predictors per run.
+type LadderSpec struct {
+	Name string
+	New  func() DirPredictor
+}
+
+// LadderSpecs returns constructors for the Section 5.3 ladder.
+func LadderSpecs() []LadderSpec {
+	return []LadderSpec{
+		{"gshare-4KB", func() DirPredictor { return NewGShare(14, 12) }},
+		{"gshare-8KB", func() DirPredictor { return NewGShare(15, 12) }},
+		{"gshare-3table-24KB", func() DirPredictor { return NewDefault() }},
+		{"tage-27KB", func() DirPredictor { return NewTAGE(14, 11, 10, []int{4, 8, 16, 32, 64, 128}) }},
+		{"tage-50KB", func() DirPredictor { return NewTAGE(14, 12, 10, []int{4, 8, 16, 32, 64, 128}) }},
+		{"isl-tage-64KB", func() DirPredictor { return NewISLTAGE(14, 12, 12, []int{4, 8, 16, 32, 64, 128}, 6, 12) }},
+	}
+}
+
+// ByName constructs a predictor from a configuration name; the CLI tools
+// use it. Unknown names return nil.
+func ByName(name string) DirPredictor {
+	switch name {
+	case "static":
+		return &Static{}
+	case "bimodal":
+		return NewBimodal(14)
+	case "gshare":
+		return NewGShare(15, 14)
+	case "default", "gshare-3table", "tournament":
+		return NewDefault()
+	case "tage":
+		return NewTAGE(14, 11, 10, []int{4, 8, 16, 32, 64, 128})
+	case "isl-tage":
+		return NewISLTAGE(14, 12, 12, []int{4, 8, 16, 32, 64, 128}, 6, 12)
+	case "perceptron":
+		return NewPerceptron(10, 32)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package bpred
+
+// Perceptron is Jiménez & Lin's perceptron branch predictor: per-PC weight
+// vectors dotted against the global history, trained when the margin is
+// below a threshold or the prediction is wrong. It is not part of the
+// paper's ladder (the paper tops out at ISL-TAGE) but completes the
+// predictor suite for extension studies: perceptrons capture linearly
+// separable correlations that counter tables cannot, and degrade
+// differently under the history pollution the workloads exhibit.
+type Perceptron struct {
+	weights  [][]int8
+	bias     []int8
+	mask     uint64
+	histBits int
+	hist     Hist
+	theta    int32
+}
+
+// NewPerceptron builds a perceptron predictor with 2^logRows weight rows
+// over histBits of global history.
+func NewPerceptron(logRows, histBits int) *Perceptron {
+	n := 1 << logRows
+	p := &Perceptron{
+		weights:  make([][]int8, n),
+		bias:     make([]int8, n),
+		mask:     uint64(n - 1),
+		histBits: histBits,
+		// Jiménez's threshold heuristic: 1.93*h + 14.
+		theta: int32(1.93*float64(histBits) + 14),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int8, histBits)
+	}
+	return p
+}
+
+// Name implements DirPredictor.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// SizeBits implements DirPredictor.
+func (p *Perceptron) SizeBits() int { return len(p.weights) * (p.histBits + 1) * 8 }
+
+func (p *Perceptron) dot(pc uint64, h Hist) int32 {
+	row := (pc ^ pc>>13) & p.mask
+	w := p.weights[row]
+	sum := int32(p.bias[row])
+	for i := 0; i < p.histBits; i++ {
+		var bit int64
+		if i < 64 {
+			bit = int64(h[0]>>uint(i)) & 1
+		} else {
+			bit = int64(h[1]>>uint(i-64)) & 1
+		}
+		if bit != 0 {
+			sum += int32(w[i])
+		} else {
+			sum -= int32(w[i])
+		}
+	}
+	return sum
+}
+
+// Predict implements DirPredictor.
+func (p *Perceptron) Predict(pc uint64) (bool, Meta) {
+	sum := p.dot(pc, p.hist)
+	pred := sum >= 0
+	weak := sum < p.theta && sum > -p.theta
+	return pred, Meta{Hist: p.hist, Pred: pred, TagePred: pred, Weak: weak}
+}
+
+// Update implements DirPredictor: train on mispredictions and weak-margin
+// correct predictions, saturating weights at int8 bounds.
+func (p *Perceptron) Update(pc uint64, taken bool, m Meta) {
+	sum := p.dot(pc, m.Hist)
+	pred := sum >= 0
+	if pred == taken && (sum >= p.theta || sum <= -p.theta) {
+		return
+	}
+	row := (pc ^ pc>>13) & p.mask
+	w := p.weights[row]
+	step := func(v int8, up bool) int8 {
+		if up && v < 127 {
+			return v + 1
+		}
+		if !up && v > -127 {
+			return v - 1
+		}
+		return v
+	}
+	p.bias[row] = step(p.bias[row], taken)
+	for i := 0; i < p.histBits; i++ {
+		var bit int64
+		if i < 64 {
+			bit = int64(m.Hist[0]>>uint(i)) & 1
+		} else {
+			bit = int64(m.Hist[1]>>uint(i-64)) & 1
+		}
+		agrees := (bit != 0) == taken
+		w[i] = step(w[i], agrees)
+	}
+}
+
+// PushHistory implements DirPredictor.
+func (p *Perceptron) PushHistory(taken bool) { p.hist.Push(taken) }
+
+// Checkpoint implements DirPredictor.
+func (p *Perceptron) Checkpoint() Hist { return p.hist }
+
+// Restore implements DirPredictor.
+func (p *Perceptron) Restore(h Hist) { p.hist = h }

@@ -1,0 +1,114 @@
+// Package cache models the memory hierarchy of Table 1: split 32KB L1
+// instruction/data caches, a 256KB unified L2, a 4MB L3, and 140-cycle
+// main memory, with a miss buffer (MSHR) that merges requests to in-flight
+// lines and bounds outstanding misses.
+package cache
+
+// Config describes one set-associative cache level.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	Latency   int // total load-to-use latency for a hit at this level
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	cfg    Config
+	sets   [][]line
+	clock  uint64
+	shift  uint // log2(LineBytes)
+	setCnt uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache from its configuration.
+func New(cfg Config) *Cache {
+	nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a positive power of two")
+	}
+	c := &Cache{cfg: cfg, setCnt: uint64(nsets)}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.shift++
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.shift << c.shift }
+
+// Lookup probes for the line containing addr without changing state.
+func (c *Cache) Lookup(addr uint64) bool {
+	tag := addr >> c.shift
+	set := c.sets[tag%c.setCnt]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access touches the line containing addr: on a hit it refreshes LRU and
+// returns true; on a miss it allocates the line (evicting the LRU way) and
+// returns false.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	c.Accesses++
+	tag := addr >> c.shift
+	set := c.sets[tag%c.setCnt]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	c.Misses++
+	set[victim] = line{tag: tag, valid: true, lastUse: c.clock}
+	return false
+}
+
+// Invalidate drops the line containing addr if present.
+func (c *Cache) Invalidate(addr uint64) {
+	tag := addr >> c.shift
+	set := c.sets[tag%c.setCnt]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+		}
+	}
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ResetStats clears counters without touching contents, so warmup can be
+// excluded from measurement.
+func (c *Cache) ResetStats() { c.Accesses, c.Misses = 0, 0 }

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vanguard/internal/interp"
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+	"vanguard/internal/pipeline"
+	"vanguard/internal/profile"
+)
+
+// predHammock builds the canonical if-convertible shape: pure-ALU/load
+// arms, B jumping to the join, C falling through.
+func predHammock() *ir.Program {
+	f := &ir.Func{Name: "main"}
+	init := f.AddBlock("init")
+	a := f.AddBlock("A")
+	b := f.AddBlock("B")
+	c := f.AddBlock("C")
+	j := f.AddBlock("J")
+	f.Emit(init,
+		ir.Li(isa.R(1), dataBase),
+		ir.Li(isa.R(2), 50),
+		ir.Li(isa.R(10), 777), // live through both arms unless redefined
+	)
+	f.Emit(a,
+		ir.Ld(isa.R(6), isa.R(1), 0),
+		ir.Cmp(isa.CMPLT, isa.R(7), isa.R(6), isa.R(2)),
+		ir.BrID(isa.R(7), c, 1),
+	)
+	f.Emit(b,
+		ir.Ld(isa.R(8), isa.R(1), 8),
+		ir.Addi(isa.R(9), isa.R(8), 5), // r9 defined only on B path
+		ir.Jmp(j),
+	)
+	f.Emit(c,
+		ir.Ld(isa.R(8), isa.R(1), 16),
+		ir.Muli(isa.R(10), isa.R(8), 3), // r10 redefined only on C path
+	)
+	f.Emit(j,
+		ir.St(isa.R(1), 64, isa.R(8)),
+		ir.St(isa.R(1), 72, isa.R(9)),
+		ir.St(isa.R(1), 80, isa.R(10)),
+		ir.Halt(),
+	)
+	return &ir.Program{Funcs: []*ir.Func{f}}
+}
+
+func hardProfile(id int) *profile.Profile {
+	return &profile.Profile{ByID: map[int]*profile.Branch{
+		id: {ID: id, Forward: true, Execs: 10000, Taken: 5000, Correct: 5500},
+	}}
+}
+
+func TestIfConvertStructure(t *testing.T) {
+	p := predHammock()
+	before := len(p.Funcs[0].Blocks)
+	rep, err := IfConvertBranches(p, hardProfile(1), DefaultIfConvertOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Converted) != 1 {
+		t.Fatalf("not converted: %v", rep.Skipped)
+	}
+	if got := len(p.Funcs[0].Blocks); got != before-2 {
+		t.Errorf("blocks = %d, want %d (arms folded away)", got, before-2)
+	}
+	var cmovs, branches, lds int
+	for _, blk := range p.Funcs[0].Blocks {
+		for _, ins := range blk.Instrs {
+			switch ins.Op {
+			case isa.CMOV:
+				cmovs++
+			case isa.BR:
+				branches++
+			case isa.LDS:
+				lds++
+			}
+		}
+	}
+	if branches != 0 {
+		t.Error("the hammock branch must be gone")
+	}
+	if cmovs < 2 {
+		t.Errorf("expected selects for r8/r9/r10, found %d cmovs", cmovs)
+	}
+	if lds != 2 {
+		t.Errorf("both arm loads must become non-faulting, found %d", lds)
+	}
+}
+
+func TestIfConvertPreservesSemantics(t *testing.T) {
+	for _, cond := range []int64{10, 90} { // taken and not-taken
+		gm := mem.New()
+		gm.MustStore(uint64(dataBase), cond)
+		gm.MustStore(uint64(dataBase)+8, 111)
+		gm.MustStore(uint64(dataBase)+16, 222)
+		if _, _, err := interp.Run(ir.MustLinearize(predHammock()), gm, interp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		p := predHammock()
+		rep, err := IfConvertBranches(p, hardProfile(1), DefaultIfConvertOptions())
+		if err != nil || len(rep.Converted) != 1 {
+			t.Fatalf("convert: %v / %v", err, rep)
+		}
+		for _, sim := range []string{"interp", "pipeline"} {
+			m := mem.New()
+			m.MustStore(uint64(dataBase), cond)
+			m.MustStore(uint64(dataBase)+8, 111)
+			m.MustStore(uint64(dataBase)+16, 222)
+			if sim == "interp" {
+				if _, _, err := interp.Run(ir.MustLinearize(p), m, interp.Options{}); err != nil {
+					t.Fatalf("cond=%d: %v\n%s", cond, err, p)
+				}
+			} else {
+				if _, err := pipeline.New(ir.MustLinearize(p), m, pipeline.DefaultConfig(4)).Run(); err != nil {
+					t.Fatalf("cond=%d pipeline: %v", cond, err)
+				}
+			}
+			if !m.Equal(gm) {
+				t.Errorf("cond=%d %s: if-conversion changed semantics\n%s", cond, sim, p)
+			}
+		}
+	}
+}
+
+func TestIfConvertEliminatesMispredicts(t *testing.T) {
+	// A coin-flip hammock inside a loop: predicated code must have (near)
+	// zero branch mispredicts while the branchy version suffers ~25% of
+	// iterations.
+	build := func() *ir.Program {
+		f := &ir.Func{Name: "main"}
+		init := f.AddBlock("init")
+		head := f.AddBlock("head")
+		b := f.AddBlock("B")
+		c := f.AddBlock("C")
+		j := f.AddBlock("J")
+		latch := f.AddBlock("latch")
+		done := f.AddBlock("done")
+		f.Emit(init, ir.Li(isa.R(0), 0), ir.Li(isa.R(1), 0), ir.Li(isa.R(2), 2000),
+			ir.Li(isa.R(3), dataBase), ir.Li(isa.R(10), 0))
+		f.Emit(head,
+			ir.Muli(isa.R(4), isa.R(1), 8),
+			ir.Add(isa.R(4), isa.R(4), isa.R(3)),
+			ir.Ld(isa.R(5), isa.R(4), 0),
+			ir.Cmp(isa.CMPNE, isa.R(6), isa.R(5), isa.R(0)),
+			ir.BrID(isa.R(6), c, 1),
+		)
+		f.Emit(b, ir.Addi(isa.R(7), isa.R(10), 1), ir.Jmp(j))
+		f.Emit(c, ir.Addi(isa.R(7), isa.R(10), 100))
+		f.Emit(j, ir.Mov(isa.R(10), isa.R(7)))
+		f.Emit(latch,
+			ir.Addi(isa.R(1), isa.R(1), 1),
+			ir.Cmp(isa.CMPLT, isa.R(6), isa.R(1), isa.R(2)),
+			ir.BrID(isa.R(6), head, 2),
+		)
+		f.Emit(done, ir.St(isa.R(3), 1<<16, isa.R(10)), ir.Halt())
+		return &ir.Program{Funcs: []*ir.Func{f}}
+	}
+	m := mem.New()
+	state := uint64(42)
+	for i := 0; i < 2000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		m.MustStore(uint64(dataBase)+uint64(i)*8, int64(state%2))
+	}
+
+	run := func(p *ir.Program) *pipeline.Stats {
+		st, err := pipeline.New(ir.MustLinearize(p), m.Clone(), pipeline.DefaultConfig(4)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	branchy := run(build())
+
+	pred := build()
+	rep, err := IfConvertBranches(pred, hardProfile(1), DefaultIfConvertOptions())
+	if err != nil || len(rep.Converted) != 1 {
+		t.Fatalf("convert: %v %v", err, rep)
+	}
+	predicated := run(pred)
+
+	if branchy.BrMispredicts < 500 {
+		t.Fatalf("coin-flip branch only mispredicted %d of 2000", branchy.BrMispredicts)
+	}
+	// Only the loop latch remains; its mispredicts are negligible.
+	if predicated.BrMispredicts > 50 {
+		t.Errorf("predicated code still mispredicts %d times", predicated.BrMispredicts)
+	}
+	if predicated.Cycles >= branchy.Cycles {
+		t.Errorf("predication should win on an unpredictable hammock: %d vs %d cycles",
+			predicated.Cycles, branchy.Cycles)
+	}
+}
+
+func TestIfConvertSkipsPredictableAndStores(t *testing.T) {
+	// Predictable branch: left alone.
+	p := predHammock()
+	prof := &profile.Profile{ByID: map[int]*profile.Branch{
+		1: {ID: 1, Forward: true, Execs: 10000, Taken: 5000, Correct: 9300},
+	}}
+	rep, err := IfConvertBranches(p, prof, DefaultIfConvertOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Converted) != 0 || !strings.Contains(rep.Skipped[1], "predictable") {
+		t.Errorf("predictable branch must be skipped: %v", rep.Skipped)
+	}
+	// Arm with a store: left alone.
+	p2 := predHammock()
+	blkB := p2.Funcs[0].Blocks[2]
+	blkB.Instrs = append([]isa.Instr{ir.St(isa.R(1), 96, isa.R(2))}, blkB.Instrs...)
+	rep2, err := IfConvertBranches(p2, hardProfile(1), DefaultIfConvertOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Converted) != 0 || !strings.Contains(rep2.Skipped[1], "store") {
+		t.Errorf("store-bearing arm must be skipped: %v", rep2.Skipped)
+	}
+}
+
+func TestIfConvertSkipsBigArms(t *testing.T) {
+	p := predHammock()
+	blkB := p.Funcs[0].Blocks[2]
+	var pad []isa.Instr
+	for i := 0; i < 20; i++ {
+		pad = append(pad, ir.Addi(isa.R(9), isa.R(9), 1))
+	}
+	blkB.Instrs = append(pad, blkB.Instrs...)
+	rep, err := IfConvertBranches(p, hardProfile(1), DefaultIfConvertOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Converted) != 0 || !strings.Contains(rep.Skipped[1], "too large") {
+		t.Errorf("oversized arm must be skipped: %v", rep.Skipped)
+	}
+}

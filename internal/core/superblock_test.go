@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"vanguard/internal/interp"
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+	"vanguard/internal/profile"
+)
+
+func biasedProfile(id int, takenRate float64) *profile.Profile {
+	execs := int64(10000)
+	taken := int64(takenRate * 10000)
+	return &profile.Profile{ByID: map[int]*profile.Branch{
+		id: {ID: id, Forward: true, Execs: execs, Taken: taken, Correct: int64(0.99 * 10000)},
+	}}
+}
+
+func TestSpeculateBiasedHoistsAboveBranch(t *testing.T) {
+	p := hammock()
+	rep, err := SpeculateBiasedBranches(p, biasedProfile(1, 0.02), DefaultSpeculateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Speculated) != 1 || rep.Hoisted == 0 {
+		t.Fatalf("nothing speculated: %+v", rep)
+	}
+	// The A block must now contain a speculative load before its branch.
+	ablk := p.Funcs[0].Blocks[1]
+	sawLDS := false
+	for _, ins := range ablk.Instrs {
+		if ins.Op == isa.LDS {
+			sawLDS = true
+		}
+	}
+	if !sawLDS {
+		t.Errorf("no speculative load hoisted into A:\n%s", p)
+	}
+	if term, _ := ablk.Terminator(); term.Op != isa.BR {
+		t.Error("branch must remain the terminator")
+	}
+}
+
+func TestSpeculateBiasedPreservesSemantics(t *testing.T) {
+	for _, cond := range []int64{10, 90} { // taken (rare) and not-taken (hot)
+		gm := mem.New()
+		gm.MustStore(uint64(dataBase), cond)
+		gm.MustStore(uint64(dataBase)+8, 111)
+		gm.MustStore(uint64(dataBase)+16, 222)
+		if _, _, err := interp.Run(ir.MustLinearize(hammock()), gm, interp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		p := hammock()
+		if _, err := SpeculateBiasedBranches(p, biasedProfile(1, 0.02), DefaultSpeculateOptions()); err != nil {
+			t.Fatal(err)
+		}
+		sm := mem.New()
+		sm.MustStore(uint64(dataBase), cond)
+		sm.MustStore(uint64(dataBase)+8, 111)
+		sm.MustStore(uint64(dataBase)+16, 222)
+		if _, _, err := interp.Run(ir.MustLinearize(p), sm, interp.Options{}); err != nil {
+			t.Fatalf("cond=%d: %v\n%s", cond, err, p)
+		}
+		if !sm.Equal(gm) {
+			t.Errorf("cond=%d: speculation changed semantics:\n%s", cond, p)
+		}
+	}
+}
+
+func TestSpeculateTakenDominant(t *testing.T) {
+	// Bias toward the taken target: hoist from C above the branch.
+	p := hammock()
+	rep, err := SpeculateBiasedBranches(p, biasedProfile(1, 0.98), DefaultSpeculateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Speculated) != 1 {
+		t.Fatalf("taken-dominant branch not speculated: %+v", rep)
+	}
+	for _, cond := range []int64{10, 90} {
+		gm := mem.New()
+		gm.MustStore(uint64(dataBase), cond)
+		if _, _, err := interp.Run(ir.MustLinearize(hammock()), gm, interp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		sm := mem.New()
+		sm.MustStore(uint64(dataBase), cond)
+		p2 := hammock()
+		if _, err := SpeculateBiasedBranches(p2, biasedProfile(1, 0.98), DefaultSpeculateOptions()); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := interp.Run(ir.MustLinearize(p2), sm, interp.Options{}); err != nil {
+			t.Fatalf("cond=%d: %v", cond, err)
+		}
+		if !sm.Equal(gm) {
+			t.Errorf("cond=%d: taken-dominant speculation changed semantics", cond)
+		}
+	}
+}
+
+func TestSpeculateSkipsUnbiased(t *testing.T) {
+	p := hammock()
+	rep, err := SpeculateBiasedBranches(p, biasedProfile(1, 0.60), DefaultSpeculateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Speculated) != 0 {
+		t.Error("60/40 branch must not be superblock-speculated")
+	}
+}
+
+func TestSpeculateThenDecompose(t *testing.T) {
+	// The two passes must compose: speculate the biased branch, decompose
+	// the unbiased-but-predictable one, and semantics survive.
+	f := &ir.Func{Name: "main"}
+	init := f.AddBlock("init")
+	a1 := f.AddBlock("A1") // biased branch
+	b1 := f.AddBlock("B1")
+	c1 := f.AddBlock("C1")
+	a2 := f.AddBlock("A2") // unbiased predictable branch
+	b2 := f.AddBlock("B2")
+	c2 := f.AddBlock("C2")
+	d := f.AddBlock("D")
+	f.Emit(init, ir.Li(isa.R(1), dataBase), ir.Li(isa.R(2), 50))
+	f.Emit(a1, ir.Ld(isa.R(6), isa.R(1), 0), ir.Cmp(isa.CMPLT, isa.R(7), isa.R(6), isa.R(2)), ir.BrID(isa.R(7), c1, 1))
+	f.Emit(b1, ir.Ld(isa.R(8), isa.R(1), 8), ir.Addi(isa.R(8), isa.R(8), 1), ir.Jmp(a2))
+	f.Emit(c1, ir.Li(isa.R(8), 7))
+	f.Emit(a2, ir.Ld(isa.R(6), isa.R(1), 16), ir.Cmp(isa.CMPLT, isa.R(7), isa.R(6), isa.R(2)), ir.BrID(isa.R(7), c2, 2))
+	f.Emit(b2, ir.Addi(isa.R(9), isa.R(8), 100), ir.Jmp(d))
+	f.Emit(c2, ir.Addi(isa.R(9), isa.R(8), 200))
+	f.Emit(d, ir.St(isa.R(1), 64, isa.R(9)), ir.Halt())
+	build := func() *ir.Program { return (&ir.Program{Funcs: []*ir.Func{f}}).Clone() }
+
+	prof := &profile.Profile{ByID: map[int]*profile.Branch{
+		1: {ID: 1, Forward: true, Execs: 10000, Taken: 200, Correct: 9900},  // biased
+		2: {ID: 2, Forward: true, Execs: 10000, Taken: 6000, Correct: 9300}, // unbiased, predictable
+	}}
+
+	p := build()
+	srep, err := SpeculateBiasedBranches(p, prof, DefaultSpeculateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drep, err := Transform(p, prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srep.Speculated) != 1 || len(drep.Converted) != 1 {
+		t.Fatalf("composition failed: spec=%v conv=%v skipped=%v", srep.Speculated, drep.Converted, drep.Skipped)
+	}
+
+	for _, v := range [][2]int64{{10, 10}, {10, 90}, {90, 10}, {90, 90}} {
+		initm := func(m *mem.Memory) {
+			m.MustStore(uint64(dataBase), v[0])
+			m.MustStore(uint64(dataBase)+8, 5)
+			m.MustStore(uint64(dataBase)+16, v[1])
+		}
+		gm := mem.New()
+		initm(gm)
+		if _, _, err := interp.Run(ir.MustLinearize(build()), gm, interp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		sm := mem.New()
+		initm(sm)
+		if _, _, err := interp.Run(ir.MustLinearize(p), sm, interp.Options{}); err != nil {
+			t.Fatalf("%v: %v\n%s", v, err, p)
+		}
+		if !sm.Equal(gm) {
+			t.Errorf("%v: composed passes changed semantics", v)
+		}
+	}
+}

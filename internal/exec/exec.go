@@ -1,0 +1,286 @@
+// Package exec implements the architectural semantics of the vanguard ISA
+// as a single-step function shared by the functional interpreter (the
+// golden model) and the pipeline simulator's execute stage. Sharing one
+// Step guarantees the timing model computes exactly the architectural
+// results the golden model does.
+//
+// The package also implements the fault model for control speculation:
+// a speculative load (LDS) whose address faults writes zero and poisons
+// its destination; poison propagates through dataflow and trips an
+// architectural fault only when consumed by a side-effecting operation
+// (store operands, branch/resolve conditions, return targets, or plain
+// load addresses) — the same discipline as Itanium NaT bits.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"vanguard/internal/isa"
+)
+
+// Memory is the data-memory interface Step loads from and stores to.
+// *mem.Memory implements it directly; the pipeline interposes a
+// store-buffer view so that speculative stores stay squashable.
+type Memory interface {
+	Load(addr uint64) (int64, error)
+	Store(addr uint64, v int64) error
+}
+
+// State is the architectural state of the machine.
+type State struct {
+	Regs   [isa.NumRegs]int64
+	Poison [isa.NumRegs]bool
+	Mem    Memory
+	PC     int
+	Halted bool
+}
+
+// NewState returns a fresh state over the given memory, starting at entry.
+func NewState(m Memory, entry int) *State {
+	return &State{Mem: m, PC: entry}
+}
+
+// F reads an FP register as float64.
+func (s *State) F(r isa.Reg) float64 { return math.Float64frombits(uint64(s.Regs[r])) }
+
+// SetF writes an FP register from a float64.
+func (s *State) SetF(r isa.Reg, v float64) { s.Regs[r] = int64(math.Float64bits(v)) }
+
+// PoisonFault is the architectural fault raised when a poisoned value
+// (from a suppressed speculative-load fault) is consumed by a
+// side-effecting operation on the committed path.
+type PoisonFault struct {
+	PC  int
+	Reg isa.Reg
+}
+
+// Error implements the error interface.
+func (p *PoisonFault) Error() string {
+	return fmt.Sprintf("poison fault: %s consumed at pc %d", p.Reg, p.PC)
+}
+
+// Result describes the side effects of one executed instruction, for the
+// benefit of the timing model.
+type Result struct {
+	NextPC int
+	// Taken reports whether control actually transferred away from the
+	// fall-through path (JMP/CALL/RET always; BR/RESOLVE/PREDICT when taken).
+	Taken bool
+	// CondVal is the evaluated condition (Src1 != 0) of a BR or RESOLVE.
+	CondVal bool
+	// IsMem/MemAddr describe the data-memory access, if any.
+	IsMem   bool
+	MemAddr uint64
+	// SuppressedFault reports that an LDS faulted and poisoned its dest.
+	SuppressedFault bool
+	// Halted reports the machine stopped.
+	Halted bool
+}
+
+// Step executes the instruction at st.PC semantics-wise (the caller passes
+// the instruction, typically image.Instrs[st.PC]) and advances st.PC.
+// predictTaken supplies the front end's choice for PREDICT instructions
+// and is ignored otherwise; the functional interpreter may pass any value
+// — program results are identical either way by construction of the
+// transformation, which is exactly the property the tests check.
+func Step(st *State, ins isa.Instr, predictTaken bool) (Result, error) {
+	res := Result{NextPC: st.PC + 1}
+	r := &st.Regs
+	// poisoned reports whether any of the given registers is poisoned.
+	poisoned := func(regs ...isa.Reg) (isa.Reg, bool) {
+		for _, x := range regs {
+			if x != isa.NoReg && st.Poison[x] {
+				return x, true
+			}
+		}
+		return isa.NoReg, false
+	}
+	// set writes a destination register, propagating poison from sources.
+	set := func(d isa.Reg, v int64, srcs ...isa.Reg) {
+		r[d] = v
+		_, p := poisoned(srcs...)
+		st.Poison[d] = p
+	}
+
+	switch ins.Op {
+	case isa.NOP:
+
+	case isa.ADD:
+		set(ins.Dst, r[ins.Src1]+r[ins.Src2], ins.Src1, ins.Src2)
+	case isa.SUB:
+		set(ins.Dst, r[ins.Src1]-r[ins.Src2], ins.Src1, ins.Src2)
+	case isa.MUL:
+		set(ins.Dst, r[ins.Src1]*r[ins.Src2], ins.Src1, ins.Src2)
+	case isa.DIV:
+		var v int64
+		if d := r[ins.Src2]; d != 0 {
+			v = r[ins.Src1] / d
+		}
+		set(ins.Dst, v, ins.Src1, ins.Src2)
+	case isa.REM:
+		var v int64
+		if d := r[ins.Src2]; d != 0 {
+			v = r[ins.Src1] % d
+		}
+		set(ins.Dst, v, ins.Src1, ins.Src2)
+	case isa.AND:
+		set(ins.Dst, r[ins.Src1]&r[ins.Src2], ins.Src1, ins.Src2)
+	case isa.OR:
+		set(ins.Dst, r[ins.Src1]|r[ins.Src2], ins.Src1, ins.Src2)
+	case isa.XOR:
+		set(ins.Dst, r[ins.Src1]^r[ins.Src2], ins.Src1, ins.Src2)
+	case isa.SHL:
+		set(ins.Dst, r[ins.Src1]<<(uint64(r[ins.Src2])&63), ins.Src1, ins.Src2)
+	case isa.SHR:
+		set(ins.Dst, r[ins.Src1]>>(uint64(r[ins.Src2])&63), ins.Src1, ins.Src2)
+	case isa.ADDI:
+		set(ins.Dst, r[ins.Src1]+ins.Imm, ins.Src1)
+	case isa.MULI:
+		set(ins.Dst, r[ins.Src1]*ins.Imm, ins.Src1)
+	case isa.ANDI:
+		set(ins.Dst, r[ins.Src1]&ins.Imm, ins.Src1)
+	case isa.LI:
+		set(ins.Dst, ins.Imm)
+	case isa.MOV, isa.FMOV:
+		set(ins.Dst, r[ins.Src1], ins.Src1)
+
+	case isa.CMPEQ:
+		set(ins.Dst, b2i(r[ins.Src1] == r[ins.Src2]), ins.Src1, ins.Src2)
+	case isa.CMPNE:
+		set(ins.Dst, b2i(r[ins.Src1] != r[ins.Src2]), ins.Src1, ins.Src2)
+	case isa.CMPLT:
+		set(ins.Dst, b2i(r[ins.Src1] < r[ins.Src2]), ins.Src1, ins.Src2)
+	case isa.CMPLE:
+		set(ins.Dst, b2i(r[ins.Src1] <= r[ins.Src2]), ins.Src1, ins.Src2)
+	case isa.CMPGT:
+		set(ins.Dst, b2i(r[ins.Src1] > r[ins.Src2]), ins.Src1, ins.Src2)
+	case isa.CMPGE:
+		set(ins.Dst, b2i(r[ins.Src1] >= r[ins.Src2]), ins.Src1, ins.Src2)
+
+	case isa.FADD:
+		set(ins.Dst, fbits(st.F(ins.Src1)+st.F(ins.Src2)), ins.Src1, ins.Src2)
+	case isa.FSUB:
+		set(ins.Dst, fbits(st.F(ins.Src1)-st.F(ins.Src2)), ins.Src1, ins.Src2)
+	case isa.FMUL:
+		set(ins.Dst, fbits(st.F(ins.Src1)*st.F(ins.Src2)), ins.Src1, ins.Src2)
+	case isa.FDIV:
+		set(ins.Dst, fbits(st.F(ins.Src1)/st.F(ins.Src2)), ins.Src1, ins.Src2)
+	case isa.FCMPLT:
+		set(ins.Dst, b2i(st.F(ins.Src1) < st.F(ins.Src2)), ins.Src1, ins.Src2)
+	case isa.FCMPGE:
+		set(ins.Dst, b2i(st.F(ins.Src1) >= st.F(ins.Src2)), ins.Src1, ins.Src2)
+	case isa.CVTIF:
+		set(ins.Dst, fbits(float64(r[ins.Src1])), ins.Src1)
+	case isa.CVTFI:
+		set(ins.Dst, int64(st.F(ins.Src1)), ins.Src1)
+
+	case isa.LD:
+		if p, bad := poisoned(ins.Src1); bad {
+			return res, &PoisonFault{PC: st.PC, Reg: p}
+		}
+		addr := uint64(r[ins.Src1] + ins.Imm)
+		res.IsMem, res.MemAddr = true, addr
+		v, err := st.Mem.Load(addr)
+		if err != nil {
+			return res, err
+		}
+		set(ins.Dst, v)
+	case isa.LDS:
+		addr := uint64(r[ins.Src1] + ins.Imm)
+		res.IsMem, res.MemAddr = true, addr
+		if _, bad := poisoned(ins.Src1); bad {
+			// A poisoned address chain keeps the chain poisoned; the access
+			// itself is suppressed.
+			r[ins.Dst] = 0
+			st.Poison[ins.Dst] = true
+			res.SuppressedFault = true
+			break
+		}
+		v, err := st.Mem.Load(addr)
+		if err != nil {
+			r[ins.Dst] = 0
+			st.Poison[ins.Dst] = true
+			res.SuppressedFault = true
+			break
+		}
+		set(ins.Dst, v)
+	case isa.ST:
+		if p, bad := poisoned(ins.Src1, ins.Src2); bad {
+			return res, &PoisonFault{PC: st.PC, Reg: p}
+		}
+		addr := uint64(r[ins.Src1] + ins.Imm)
+		res.IsMem, res.MemAddr = true, addr
+		if err := st.Mem.Store(addr, r[ins.Src2]); err != nil {
+			return res, err
+		}
+
+	case isa.CMOV:
+		if p, bad := poisoned(ins.Src1); bad {
+			// The condition steers architectural state: consuming poison
+			// here is a fault, like a branch condition.
+			return res, &PoisonFault{PC: st.PC, Reg: p}
+		}
+		res.CondVal = r[ins.Src1] != 0
+		if res.CondVal {
+			set(ins.Dst, r[ins.Src2], ins.Src2)
+		}
+
+	case isa.BR:
+		if p, bad := poisoned(ins.Src1); bad {
+			return res, &PoisonFault{PC: st.PC, Reg: p}
+		}
+		res.CondVal = r[ins.Src1] != 0
+		if res.CondVal {
+			res.Taken = true
+			res.NextPC = ins.Target
+		}
+	case isa.JMP:
+		res.Taken = true
+		res.NextPC = ins.Target
+	case isa.CALL:
+		r[isa.R(isa.NumIntRegs-1)] = int64(st.PC + 1)
+		st.Poison[isa.R(isa.NumIntRegs-1)] = false
+		res.Taken = true
+		res.NextPC = ins.Target
+	case isa.RET:
+		if p, bad := poisoned(ins.Src1); bad {
+			return res, &PoisonFault{PC: st.PC, Reg: p}
+		}
+		res.Taken = true
+		res.NextPC = int(r[ins.Src1])
+	case isa.HALT:
+		st.Halted = true
+		res.Halted = true
+		res.NextPC = st.PC
+	case isa.PREDICT:
+		if predictTaken {
+			res.Taken = true
+			res.NextPC = ins.Target
+		}
+	case isa.RESOLVE:
+		if p, bad := poisoned(ins.Src1); bad {
+			return res, &PoisonFault{PC: st.PC, Reg: p}
+		}
+		res.CondVal = r[ins.Src1] != 0
+		if res.CondVal != ins.Expect {
+			res.Taken = true
+			res.NextPC = ins.Target
+		}
+
+	default:
+		return res, fmt.Errorf("exec: unknown opcode %v at pc %d", ins.Op, st.PC)
+	}
+
+	st.PC = res.NextPC
+	return res, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fbits(f float64) int64 { return int64(math.Float64bits(f)) }

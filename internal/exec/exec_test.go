@@ -1,0 +1,379 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+)
+
+func newState() *State { return NewState(mem.New(), 0) }
+
+func step(t *testing.T, st *State, ins isa.Instr) Result {
+	t.Helper()
+	res, err := Step(st, ins, false)
+	if err != nil {
+		t.Fatalf("Step(%v): %v", ins, err)
+	}
+	return res
+}
+
+func TestIntegerALU(t *testing.T) {
+	st := newState()
+	st.Regs[1], st.Regs[2] = 7, -3
+	cases := []struct {
+		ins  isa.Instr
+		want int64
+	}{
+		{isa.Instr{Op: isa.ADD, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, 4},
+		{isa.Instr{Op: isa.SUB, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, 10},
+		{isa.Instr{Op: isa.MUL, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, -21},
+		{isa.Instr{Op: isa.DIV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, -2},
+		{isa.Instr{Op: isa.REM, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, 1},
+		{isa.Instr{Op: isa.AND, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, 7 & -3},
+		{isa.Instr{Op: isa.OR, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, 7 | -3},
+		{isa.Instr{Op: isa.XOR, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, 7 ^ -3},
+		{isa.Instr{Op: isa.ADDI, Dst: isa.R(3), Src1: isa.R(1), Imm: 100}, 107},
+		{isa.Instr{Op: isa.MULI, Dst: isa.R(3), Src1: isa.R(1), Imm: -2}, -14},
+		{isa.Instr{Op: isa.ANDI, Dst: isa.R(3), Src1: isa.R(1), Imm: 3}, 3},
+		{isa.Instr{Op: isa.LI, Dst: isa.R(3), Imm: -42}, -42},
+		{isa.Instr{Op: isa.MOV, Dst: isa.R(3), Src1: isa.R(2)}, -3},
+	}
+	for _, c := range cases {
+		st.PC = 0
+		step(t, st, c.ins)
+		if st.Regs[3] != c.want {
+			t.Errorf("%v: r3 = %d, want %d", c.ins, st.Regs[3], c.want)
+		}
+		if st.PC != 1 {
+			t.Errorf("%v: PC = %d, want 1", c.ins, st.PC)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	st := newState()
+	st.Regs[1], st.Regs[2] = -8, 2
+	step(t, st, isa.Instr{Op: isa.SHL, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	if st.Regs[3] != -32 {
+		t.Errorf("shl: %d", st.Regs[3])
+	}
+	step(t, st, isa.Instr{Op: isa.SHR, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	if st.Regs[3] != -2 {
+		t.Errorf("shr must be arithmetic: %d", st.Regs[3])
+	}
+	st.Regs[2] = 64 + 3 // shift amounts wrap mod 64
+	step(t, st, isa.Instr{Op: isa.SHL, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	if st.Regs[3] != -64 {
+		t.Errorf("shl with wrapped amount: %d", st.Regs[3])
+	}
+}
+
+func TestDivideByZeroIsDefined(t *testing.T) {
+	st := newState()
+	st.Regs[1] = 99
+	for _, op := range []isa.Op{isa.DIV, isa.REM} {
+		step(t, st, isa.Instr{Op: op, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+		if st.Regs[3] != 0 {
+			t.Errorf("%v by zero = %d, want 0", op, st.Regs[3])
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	st := newState()
+	st.Regs[1], st.Regs[2] = -5, 3
+	cases := map[isa.Op]int64{
+		isa.CMPEQ: 0, isa.CMPNE: 1, isa.CMPLT: 1,
+		isa.CMPLE: 1, isa.CMPGT: 0, isa.CMPGE: 0,
+	}
+	for op, want := range cases {
+		step(t, st, isa.Instr{Op: op, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+		if st.Regs[3] != want {
+			t.Errorf("%v(-5,3) = %d, want %d", op, st.Regs[3], want)
+		}
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	st := newState()
+	st.SetF(isa.F(1), 2.5)
+	st.SetF(isa.F(2), -1.25)
+	fcases := []struct {
+		op   isa.Op
+		want float64
+	}{
+		{isa.FADD, 1.25}, {isa.FSUB, 3.75}, {isa.FMUL, -3.125}, {isa.FDIV, -2},
+	}
+	for _, c := range fcases {
+		step(t, st, isa.Instr{Op: c.op, Dst: isa.F(3), Src1: isa.F(1), Src2: isa.F(2)})
+		if got := st.F(isa.F(3)); got != c.want {
+			t.Errorf("%v = %g, want %g", c.op, got, c.want)
+		}
+	}
+	step(t, st, isa.Instr{Op: isa.FCMPLT, Dst: isa.R(4), Src1: isa.F(2), Src2: isa.F(1)})
+	if st.Regs[4] != 1 {
+		t.Error("fcmplt(-1.25, 2.5) should be 1")
+	}
+	step(t, st, isa.Instr{Op: isa.CVTIF, Dst: isa.F(5), Src1: isa.R(4)})
+	if st.F(isa.F(5)) != 1.0 {
+		t.Error("cvtif(1) should be 1.0")
+	}
+	st.SetF(isa.F(5), -7.9)
+	step(t, st, isa.Instr{Op: isa.CVTFI, Dst: isa.R(6), Src1: isa.F(5)})
+	if st.Regs[6] != -7 {
+		t.Errorf("cvtfi(-7.9) = %d, want -7 (truncation)", st.Regs[6])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	st := newState()
+	base := int64(mem.FaultBoundary)
+	st.Regs[1] = base
+	st.Regs[2] = 12345
+	res := step(t, st, isa.Instr{Op: isa.ST, Src1: isa.R(1), Src2: isa.R(2), Imm: 16})
+	if !res.IsMem || res.MemAddr != uint64(base+16) {
+		t.Errorf("store result: %+v", res)
+	}
+	res = step(t, st, isa.Instr{Op: isa.LD, Dst: isa.R(3), Src1: isa.R(1), Imm: 16})
+	if st.Regs[3] != 12345 || !res.IsMem {
+		t.Errorf("load got %d", st.Regs[3])
+	}
+}
+
+func TestLoadFaults(t *testing.T) {
+	st := newState()
+	_, err := Step(st, isa.Instr{Op: isa.LD, Dst: isa.R(3), Src1: isa.R(1), Imm: 0}, false)
+	if _, ok := err.(*mem.Fault); !ok {
+		t.Fatalf("plain load of address 0 must fault, got %v", err)
+	}
+}
+
+func TestSpeculativeLoadSuppressesFault(t *testing.T) {
+	st := newState()
+	res, err := Step(st, isa.Instr{Op: isa.LDS, Dst: isa.R(3), Src1: isa.R(1), Imm: 0}, false)
+	if err != nil {
+		t.Fatalf("LDS must not fault: %v", err)
+	}
+	if !res.SuppressedFault || st.Regs[3] != 0 || !st.Poison[isa.R(3)] {
+		t.Errorf("LDS fault suppression wrong: res=%+v r3=%d poison=%v", res, st.Regs[3], st.Poison[isa.R(3)])
+	}
+}
+
+func TestPoisonPropagatesAndClears(t *testing.T) {
+	st := newState()
+	step(t, st, isa.Instr{Op: isa.LDS, Dst: isa.R(3), Src1: isa.R(1), Imm: 0}) // poisons r3
+	step(t, st, isa.Instr{Op: isa.ADD, Dst: isa.R(4), Src1: isa.R(3), Src2: isa.R(2)})
+	if !st.Poison[isa.R(4)] {
+		t.Error("poison must propagate through ALU ops")
+	}
+	step(t, st, isa.Instr{Op: isa.LI, Dst: isa.R(4), Imm: 1})
+	if st.Poison[isa.R(4)] {
+		t.Error("overwriting a poisoned register must clear poison")
+	}
+	// A speculative load whose *address* is poisoned stays poisoned but
+	// does not fault.
+	res := step(t, st, isa.Instr{Op: isa.LDS, Dst: isa.R(5), Src1: isa.R(3), Imm: int64(mem.FaultBoundary)})
+	if !st.Poison[isa.R(5)] || !res.SuppressedFault {
+		t.Error("LDS with poisoned address must produce poisoned zero")
+	}
+}
+
+func TestPoisonConsumptionFaults(t *testing.T) {
+	mk := func() *State {
+		st := newState()
+		st.Regs[1] = mem.FaultBoundary
+		if _, err := Step(st, isa.Instr{Op: isa.LDS, Dst: isa.R(3), Src1: isa.R(9), Imm: 0}, false); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	consumers := []isa.Instr{
+		{Op: isa.ST, Src1: isa.R(1), Src2: isa.R(3)}, // poisoned data
+		{Op: isa.ST, Src1: isa.R(3), Src2: isa.R(1)}, // poisoned address
+		{Op: isa.LD, Dst: isa.R(4), Src1: isa.R(3)},  // poisoned address
+		{Op: isa.BR, Src1: isa.R(3), Target: 0},      // poisoned condition
+		{Op: isa.RESOLVE, Src1: isa.R(3), Target: 0}, // poisoned condition
+		{Op: isa.RET, Src1: isa.R(3)},                // poisoned target
+	}
+	for _, ins := range consumers {
+		st := mk()
+		_, err := Step(st, ins, false)
+		pf, ok := err.(*PoisonFault)
+		if !ok {
+			t.Errorf("%v: consuming poison must fault, got %v", ins, err)
+			continue
+		}
+		if pf.Reg != isa.R(3) || pf.Error() == "" {
+			t.Errorf("%v: fault fields wrong: %+v", ins, pf)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	st := newState()
+	st.PC = 10
+	st.Regs[1] = 1
+
+	res := step(t, st, isa.Instr{Op: isa.BR, Src1: isa.R(1), Target: 50})
+	if !res.Taken || !res.CondVal || st.PC != 50 {
+		t.Errorf("taken BR: %+v pc=%d", res, st.PC)
+	}
+	st.Regs[1] = 0
+	res = step(t, st, isa.Instr{Op: isa.BR, Src1: isa.R(1), Target: 99})
+	if res.Taken || st.PC != 51 {
+		t.Errorf("not-taken BR: %+v pc=%d", res, st.PC)
+	}
+	res = step(t, st, isa.Instr{Op: isa.JMP, Target: 7})
+	if !res.Taken || st.PC != 7 {
+		t.Errorf("JMP: pc=%d", st.PC)
+	}
+	res = step(t, st, isa.Instr{Op: isa.CALL, Target: 100})
+	if st.PC != 100 || st.Regs[isa.R(63)] != 8 {
+		t.Errorf("CALL: pc=%d link=%d", st.PC, st.Regs[isa.R(63)])
+	}
+	res = step(t, st, isa.Instr{Op: isa.RET, Src1: isa.R(63)})
+	if st.PC != 8 || !res.Taken {
+		t.Errorf("RET: pc=%d", st.PC)
+	}
+	res = step(t, st, isa.Instr{Op: isa.HALT})
+	if !st.Halted || !res.Halted || st.PC != 8 {
+		t.Errorf("HALT: halted=%v pc=%d", st.Halted, st.PC)
+	}
+}
+
+func TestPredictFollowsChoice(t *testing.T) {
+	st := newState()
+	st.PC = 5
+	ins := isa.Instr{Op: isa.PREDICT, Target: 40}
+	res, err := Step(st, ins, true)
+	if err != nil || !res.Taken || st.PC != 40 {
+		t.Fatalf("predict taken: %+v pc=%d err=%v", res, st.PC, err)
+	}
+	st.PC = 5
+	res, err = Step(st, ins, false)
+	if err != nil || res.Taken || st.PC != 6 {
+		t.Fatalf("predict not-taken: %+v pc=%d err=%v", res, st.PC, err)
+	}
+}
+
+func TestResolveSemantics(t *testing.T) {
+	// resolve fires iff actual != expect.
+	cases := []struct {
+		cond   int64
+		expect bool
+		fire   bool
+	}{
+		{1, true, false}, {0, true, true}, {1, false, true}, {0, false, false},
+	}
+	for _, c := range cases {
+		st := newState()
+		st.PC = 5
+		st.Regs[1] = c.cond
+		res := step(t, st, isa.Instr{Op: isa.RESOLVE, Src1: isa.R(1), Expect: c.expect, Target: 77})
+		if res.Taken != c.fire {
+			t.Errorf("resolve cond=%d expect=%v: fired=%v, want %v", c.cond, c.expect, res.Taken, c.fire)
+		}
+		wantPC := 6
+		if c.fire {
+			wantPC = 77
+		}
+		if st.PC != wantPC {
+			t.Errorf("resolve cond=%d expect=%v: pc=%d, want %d", c.cond, c.expect, st.PC, wantPC)
+		}
+		if res.CondVal != (c.cond != 0) {
+			t.Error("CondVal must report the actual branch outcome")
+		}
+	}
+}
+
+func TestFPHelpers(t *testing.T) {
+	st := newState()
+	st.SetF(isa.F(0), math.Pi)
+	if st.F(isa.F(0)) != math.Pi {
+		t.Error("F/SetF round trip failed")
+	}
+}
+
+// Property: ADD/SUB round trip — for any values, (a+b)-b == a — and Step
+// never mutates PC by more than a jump target or +1.
+func TestALURoundTripProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		st := newState()
+		st.Regs[1], st.Regs[2] = a, b
+		Step(st, isa.Instr{Op: isa.ADD, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false)
+		Step(st, isa.Instr{Op: isa.SUB, Dst: isa.R(4), Src1: isa.R(3), Src2: isa.R(2)}, false)
+		return st.Regs[4] == a && st.PC == 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparison opcodes agree with Go's comparison operators.
+func TestComparisonProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		st := newState()
+		st.Regs[1], st.Regs[2] = a, b
+		checks := []struct {
+			op   isa.Op
+			want bool
+		}{
+			{isa.CMPEQ, a == b}, {isa.CMPNE, a != b}, {isa.CMPLT, a < b},
+			{isa.CMPLE, a <= b}, {isa.CMPGT, a > b}, {isa.CMPGE, a >= b},
+		}
+		for _, c := range checks {
+			Step(st, isa.Instr{Op: c.op, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false)
+			if (st.Regs[3] != 0) != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMOVSemantics(t *testing.T) {
+	st := newState()
+	st.Regs[1] = 1 // condition
+	st.Regs[2] = 42
+	st.Regs[3] = 7
+	step(t, st, isa.Instr{Op: isa.CMOV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	if st.Regs[3] != 42 {
+		t.Errorf("true cmov: r3 = %d, want 42", st.Regs[3])
+	}
+	st.Regs[1] = 0
+	st.Regs[2] = 99
+	step(t, st, isa.Instr{Op: isa.CMOV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	if st.Regs[3] != 42 {
+		t.Errorf("false cmov must preserve dst: r3 = %d", st.Regs[3])
+	}
+}
+
+func TestCMOVPoison(t *testing.T) {
+	// Poisoned condition -> fault.
+	st := newState()
+	step(t, st, isa.Instr{Op: isa.LDS, Dst: isa.R(1), Src1: isa.R(9), Imm: 0})
+	if _, err := Step(st, isa.Instr{Op: isa.CMOV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false); err == nil {
+		t.Error("cmov on a poisoned condition must fault")
+	}
+	// Poisoned value selected -> poison propagates; not selected -> clean.
+	st2 := newState()
+	step(t, st2, isa.Instr{Op: isa.LDS, Dst: isa.R(2), Src1: isa.R(9), Imm: 0})
+	st2.Regs[1] = 1
+	step(t, st2, isa.Instr{Op: isa.CMOV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	if !st2.Poison[isa.R(3)] {
+		t.Error("selecting a poisoned value must propagate poison")
+	}
+	st3 := newState()
+	step(t, st3, isa.Instr{Op: isa.LDS, Dst: isa.R(2), Src1: isa.R(9), Imm: 0})
+	st3.Regs[1] = 0
+	step(t, st3, isa.Instr{Op: isa.CMOV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	if st3.Poison[isa.R(3)] {
+		t.Error("an unselected poisoned value must not poison dst")
+	}
+}

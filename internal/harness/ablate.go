@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"vanguard/internal/metrics"
+	"vanguard/internal/workload"
+)
+
+// Ablations validate the design choices the paper calls out:
+//
+//   - the 5% predictability-bias selection threshold ("this heuristic
+//     provided the best overall performance", Section 5);
+//   - the 16-entry DBB sizing ("16 entries were more than sufficient",
+//     Section 4);
+//   - the value of hoisting depth and of the condition-slice push-down
+//     (Section 3's mini-transformations).
+
+// AblationPoint is one configuration of a sweep with its geomean speedup.
+type AblationPoint struct {
+	Label      string
+	SpeedupPct float64
+}
+
+// AblationBenchmarks is a representative cross-section used by the sweeps
+// (hot, MLP-rich, memory-bound, and FP representatives).
+func AblationBenchmarks() []string {
+	return []string{"h264ref", "omnetpp", "mcf", "povray"}
+}
+
+// geomeanOver runs the given benchmarks under o and returns the geomean
+// width-4 speedup.
+func geomeanOver(names []string, o Options) (float64, error) {
+	var ss []float64
+	for _, n := range names {
+		c, ok := workload.ByName(n)
+		if !ok {
+			return 0, fmt.Errorf("unknown benchmark %q", n)
+		}
+		r, err := RunBenchmark(c, o)
+		if err != nil {
+			return 0, err
+		}
+		ss = append(ss, r.SpeedupAllRefsPct(4))
+	}
+	return metrics.GeomeanSpeedupPct(ss), nil
+}
+
+// SweepMinGap sweeps the selection threshold (paper: 5% is best).
+func SweepMinGap(names []string, base Options, gaps []float64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, g := range gaps {
+		o := base
+		o.Widths = []int{4}
+		o.Core.MinGap = g
+		s, err := geomeanOver(names, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Label: fmt.Sprintf("gap>=%.0f%%", g*100), SpeedupPct: s})
+	}
+	return out, nil
+}
+
+// SweepMaxHoist sweeps the hoisting depth; MaxHoist=0 isolates the benefit
+// of the decomposition itself (earlier prediction point) from scheduling.
+func SweepMaxHoist(names []string, base Options, depths []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, d := range depths {
+		o := base
+		o.Widths = []int{4}
+		o.Core.MaxHoist = d
+		s, err := geomeanOver(names, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Label: fmt.Sprintf("hoist<=%d", d), SpeedupPct: s})
+	}
+	return out, nil
+}
+
+// SweepDBBSize sweeps the Decomposed Branch Buffer depth. Undersized DBBs
+// wrap before resolution, so resolve instructions train the wrong predictor
+// entries — accuracy (and speedup) degrade, exactly why the paper sized it
+// by measuring occupancy.
+func SweepDBBSize(names []string, base Options, sizes []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, n := range sizes {
+		o := base
+		o.Widths = []int{4}
+		o.DBBEntries = n
+		s, err := geomeanOver(names, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{Label: fmt.Sprintf("dbb=%d", n), SpeedupPct: s})
+	}
+	return out, nil
+}
+
+// SlicePushdownAblation compares the full transformation against one with
+// the condition-slice push-down disabled.
+func SlicePushdownAblation(names []string, base Options) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, off := range []bool{false, true} {
+		o := base
+		o.Widths = []int{4}
+		o.Core.NoSlicePushdown = off
+		s, err := geomeanOver(names, o)
+		if err != nil {
+			return nil, err
+		}
+		label := "slice push-down ON"
+		if off {
+			label = "slice push-down OFF"
+		}
+		out = append(out, AblationPoint{Label: label, SpeedupPct: s})
+	}
+	return out, nil
+}
+
+// WriteAblation renders a sweep.
+func WriteAblation(w io.Writer, title string, pts []AblationPoint) {
+	fmt.Fprintln(w, title)
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-22s %6.2f%%\n", p.Label, p.SpeedupPct)
+	}
+}

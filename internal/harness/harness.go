@@ -1,0 +1,274 @@
+// Package harness drives the paper's experiments end to end: generate a
+// benchmark, profile it on TRAIN, build the baseline binary (biased-branch
+// speculation + block scheduling) and the experimental binary (the same
+// plus the Decomposed Branch Transformation), simulate both on the REF
+// inputs across machine widths, verify architectural equivalence, and
+// aggregate the metrics each table and figure reports.
+package harness
+
+import (
+	"fmt"
+
+	"vanguard/internal/bpred"
+	"vanguard/internal/core"
+	"vanguard/internal/interp"
+	"vanguard/internal/ir"
+	"vanguard/internal/mem"
+	"vanguard/internal/metrics"
+	"vanguard/internal/pipeline"
+	"vanguard/internal/profile"
+	"vanguard/internal/sched"
+	"vanguard/internal/workload"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	Widths       []int // machine widths to simulate (paper: 2, 4, 8)
+	TrainInput   workload.Input
+	RefInputs    []workload.Input
+	NewPredictor func() bpred.DirPredictor // nil = Table 1 default
+	// ICacheBytes overrides the L1-I capacity (Section 6.1's 24KB run).
+	ICacheBytes int
+	// DBBEntries overrides the Decomposed Branch Buffer depth (ablation;
+	// 0 keeps the paper's 16).
+	DBBEntries int
+	// Verify cross-checks every timing run's memory against the golden
+	// functional model (slower; on by default via DefaultOptions).
+	Verify bool
+	// Transform options.
+	Core core.Options
+	Spec core.SpeculateOptions
+}
+
+// DefaultOptions returns the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{
+		Widths:     []int{2, 4, 8},
+		TrainInput: workload.TrainInput(),
+		RefInputs:  workload.RefInputs(),
+		Verify:     true,
+		Core:       core.DefaultOptions(),
+		Spec:       core.DefaultSpeculateOptions(),
+	}
+}
+
+// WidthRun is one (input, width) measurement pair.
+type WidthRun struct {
+	Width     int
+	Base, Exp *pipeline.Stats
+}
+
+// InputResult aggregates one REF input.
+type InputResult struct {
+	Input workload.Input
+	Runs  []WidthRun
+}
+
+// SpeedupPct returns the % speedup at the given width.
+func (r *InputResult) SpeedupPct(width int) float64 {
+	for _, wr := range r.Runs {
+		if wr.Width == width {
+			return metrics.SpeedupPct(wr.Base.Cycles, wr.Exp.Cycles)
+		}
+	}
+	return 0
+}
+
+// BenchResult is one benchmark's full measurement.
+type BenchResult struct {
+	Config  workload.Config
+	Profile *profile.Profile
+	Report  *core.Report
+	Inputs  []InputResult
+	// Static code sizes in instructions.
+	StaticBase, StaticExp int
+}
+
+// SpeedupAllRefsPct is the Figures 8/10/12/13 number: geomean across REF
+// inputs at one width.
+func (b *BenchResult) SpeedupAllRefsPct(width int) float64 {
+	var ss []float64
+	for i := range b.Inputs {
+		ss = append(ss, b.Inputs[i].SpeedupPct(width))
+	}
+	return metrics.GeomeanSpeedupPct(ss)
+}
+
+// SpeedupBestRefPct is the Figures 9/11 number.
+func (b *BenchResult) SpeedupBestRefPct(width int) float64 {
+	best := 0.0
+	for i := range b.Inputs {
+		if s := b.Inputs[i].SpeedupPct(width); i == 0 || s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// run4 returns the width-4 runs of the first input (Table 2 details).
+func (b *BenchResult) run4() *WidthRun {
+	for i := range b.Inputs {
+		for j := range b.Inputs[i].Runs {
+			if b.Inputs[i].Runs[j].Width == 4 {
+				return &b.Inputs[i].Runs[j]
+			}
+		}
+	}
+	return nil
+}
+
+// IssuedIncreasePct is the Figure 14 number at width 4: % increase in
+// issued instructions, experimental over baseline, geomean over inputs.
+func (b *BenchResult) IssuedIncreasePct() float64 {
+	var ss []float64
+	for i := range b.Inputs {
+		for _, wr := range b.Inputs[i].Runs {
+			if wr.Width == 4 && wr.Base.Issued > 0 {
+				ss = append(ss, 100*float64(wr.Exp.Issued-wr.Base.Issued)/float64(wr.Base.Issued))
+			}
+		}
+	}
+	if len(ss) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range ss {
+		sum += s
+	}
+	return sum / float64(len(ss))
+}
+
+// Table2 builds the benchmark's Table 2 row.
+func (b *BenchResult) Table2() metrics.Table2Row {
+	row := metrics.Table2Row{
+		Name:  b.Config.Name,
+		SPD:   b.SpeedupAllRefsPct(4),
+		PBC:   b.Report.PBC(),
+		PHI:   metrics.PHI(b.Report),
+		PISCS: 100 * float64(b.StaticExp-b.StaticBase) / float64(b.StaticBase),
+	}
+	if wr := b.run4(); wr != nil {
+		row.MPPKI = wr.Base.MPKI()
+		row.ASPCB = metrics.ASPCB(b.Report, wr.Exp)
+		row.PDIH = metrics.PDIH(b.Report, b.Profile, wr.Exp.Committed)
+	}
+	return row
+}
+
+// predictor returns a fresh direction predictor per the options.
+func (o *Options) predictor() bpred.DirPredictor {
+	if o.NewPredictor != nil {
+		return o.NewPredictor()
+	}
+	return bpred.NewDefault()
+}
+
+// machineConfig builds the pipeline configuration for a width.
+func (o *Options) machineConfig(width int) pipeline.Config {
+	cfg := pipeline.DefaultConfig(width)
+	cfg.NewPredictor = o.predictor
+	if o.DBBEntries > 0 {
+		cfg.DBBEntries = o.DBBEntries
+	}
+	if o.ICacheBytes > 0 {
+		// Shrink capacity at constant set count by dropping ways (the
+		// natural way to cut 32KB 4-way to 24KB: 3 ways x 128 sets).
+		def := cfg.Hier.L1I
+		sets := def.SizeBytes / def.LineBytes / def.Ways
+		cfg.Hier.L1I.SizeBytes = o.ICacheBytes
+		cfg.Hier.L1I.Ways = o.ICacheBytes / def.LineBytes / sets
+	}
+	return cfg
+}
+
+// BuildBinaries produces the scheduled baseline and experimental programs
+// for a benchmark, plus the TRAIN profile and transform report.
+func BuildBinaries(c workload.Config, o Options) (base, exp *ir.Program, prof *profile.Profile, rep *core.Report, err error) {
+	trainProg, trainMem := c.Generate(o.TrainInput)
+	im := ir.MustLinearize(trainProg)
+	prof, err = profile.Collect(im, trainMem, o.predictor(), 200_000_000)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("%s: profile: %w", c.Name, err)
+	}
+
+	base = trainProg.Clone()
+	if _, err = core.SpeculateBiasedBranches(base, prof, o.Spec); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("%s: baseline speculation: %w", c.Name, err)
+	}
+	exp = base.Clone()
+	rep, err = core.Transform(exp, prof, o.Core)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("%s: transform: %w", c.Name, err)
+	}
+	model := sched.DefaultModel(4)
+	sched.Program(base, model)
+	sched.Program(exp, model)
+	return base, exp, prof, rep, nil
+}
+
+// RunBenchmark measures one benchmark under the options.
+func RunBenchmark(c workload.Config, o Options) (*BenchResult, error) {
+	base, exp, prof, rep, err := BuildBinaries(c, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &BenchResult{
+		Config: c, Profile: prof, Report: rep,
+		StaticBase: base.NumInstrs(), StaticExp: exp.NumInstrs(),
+	}
+	baseIm := ir.MustLinearize(base)
+	expIm := ir.MustLinearize(exp)
+
+	for _, in := range o.RefInputs {
+		_, refMem := c.Generate(in)
+		ir2 := InputResult{Input: in}
+
+		// Golden architectural state for verification.
+		var gold *mem.Memory
+		if o.Verify {
+			goldProg, goldMem := c.Generate(in)
+			if _, _, err := interp.Run(ir.MustLinearize(goldProg), goldMem, interp.Options{}); err != nil {
+				return nil, fmt.Errorf("%s: golden run: %w", c.Name, err)
+			}
+			gold = goldMem
+		}
+
+		for _, w := range o.Widths {
+			run := func(im *ir.Image, label string) (*pipeline.Stats, error) {
+				mach := pipeline.New(c.PatchIters(im, in.Iters), refMem.Clone(), o.machineConfig(w))
+				st, err := mach.Run()
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s w%d: %w", c.Name, label, w, err)
+				}
+				if gold != nil && !mach.Memory().Equal(gold) {
+					return nil, fmt.Errorf("%s/%s w%d: architectural state diverged from golden model", c.Name, label, w)
+				}
+				return st, nil
+			}
+			bs, err := run(baseIm, "base")
+			if err != nil {
+				return nil, err
+			}
+			es, err := run(expIm, "exp")
+			if err != nil {
+				return nil, err
+			}
+			ir2.Runs = append(ir2.Runs, WidthRun{Width: w, Base: bs, Exp: es})
+		}
+		res.Inputs = append(res.Inputs, ir2)
+	}
+	return res, nil
+}
+
+// RunSuite measures every benchmark of a suite.
+func RunSuite(suite string, o Options) ([]*BenchResult, error) {
+	var out []*BenchResult
+	for _, c := range workload.Suite(suite) {
+		r, err := RunBenchmark(c, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vanguard/internal/metrics"
+)
+
+// WriteTable2 renders the Table 2 analogue for a set of benchmark results.
+func WriteTable2(w io.Writer, results []*BenchResult) {
+	fmt.Fprintf(w, "%-11s %6s %6s %6s %7s %6s %6s %7s\n",
+		"Name", "SPD", "PBC", "PDIH", "ASPCB", "PHI", "MPPKI", "PISCS")
+	for _, r := range results {
+		row := r.Table2()
+		fmt.Fprintf(w, "%-11s %6.1f %6.1f %6.1f %7.1f %6.1f %6.1f %7.1f\n",
+			row.Name, row.SPD, row.PBC, row.PDIH, row.ASPCB, row.PHI, row.MPPKI, row.PISCS)
+	}
+}
+
+// WriteSpeedupFigure renders a Figures 8/10/12/13-style series: per
+// benchmark, % speedup at each width (averaged over all REF inputs), plus
+// the geomean row.
+func WriteSpeedupFigure(w io.Writer, title string, results []*BenchResult, widths []int, bestRef bool) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-11s", "Name")
+	for _, wd := range widths {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("%d-wide", wd))
+	}
+	fmt.Fprintln(w)
+	geo := make(map[int][]float64)
+	for _, r := range results {
+		fmt.Fprintf(w, "%-11s", r.Config.Name)
+		for _, wd := range widths {
+			var s float64
+			if bestRef {
+				s = r.SpeedupBestRefPct(wd)
+			} else {
+				s = r.SpeedupAllRefsPct(wd)
+			}
+			geo[wd] = append(geo[wd], s)
+			fmt.Fprintf(w, " %7.2f", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-11s", "GEOMEAN")
+	for _, wd := range widths {
+		fmt.Fprintf(w, " %7.2f", metrics.GeomeanSpeedupPct(geo[wd]))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteIssuedFigure renders Figure 14: % increase in instructions issued
+// at width 4 for the experimental configuration.
+func WriteIssuedFigure(w io.Writer, results []*BenchResult) {
+	fmt.Fprintln(w, "Figure 14: % increase in instructions issued (4-wide, experimental vs baseline)")
+	sum := 0.0
+	for _, r := range results {
+		v := r.IssuedIncreasePct()
+		sum += v
+		fmt.Fprintf(w, "%-11s %+6.2f%%\n", r.Config.Name, v)
+	}
+	if len(results) > 0 {
+		fmt.Fprintf(w, "%-11s %+6.2f%%\n", "MEAN", sum/float64(len(results)))
+	}
+}
+
+// WriteCSV emits a machine-readable dump of the per-benchmark speedups and
+// Table 2 metrics.
+func WriteCSV(w io.Writer, results []*BenchResult, widths []int) {
+	cols := []string{"name", "suite"}
+	for _, wd := range widths {
+		cols = append(cols, fmt.Sprintf("spd_w%d_all", wd), fmt.Sprintf("spd_w%d_best", wd))
+	}
+	cols = append(cols, "pbc", "pdih", "aspcb", "phi", "mppki", "piscs", "fig14_issued_pct")
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, r := range results {
+		row := r.Table2()
+		fields := []string{r.Config.Name, r.Config.Suite}
+		for _, wd := range widths {
+			fields = append(fields,
+				fmt.Sprintf("%.3f", r.SpeedupAllRefsPct(wd)),
+				fmt.Sprintf("%.3f", r.SpeedupBestRefPct(wd)))
+		}
+		fields = append(fields,
+			fmt.Sprintf("%.3f", row.PBC), fmt.Sprintf("%.3f", row.PDIH),
+			fmt.Sprintf("%.3f", row.ASPCB), fmt.Sprintf("%.3f", row.PHI),
+			fmt.Sprintf("%.3f", row.MPPKI), fmt.Sprintf("%.3f", row.PISCS),
+			fmt.Sprintf("%.3f", r.IssuedIncreasePct()))
+		fmt.Fprintln(w, strings.Join(fields, ","))
+	}
+}

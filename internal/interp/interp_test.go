@@ -1,0 +1,258 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"vanguard/internal/exec"
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+)
+
+// sumLoop builds: for i in [0,n): sum += i; store sum to out.
+func sumLoop(n int64, out uint64) *ir.Program {
+	f := &ir.Func{Name: "main"}
+	init := f.AddBlock("init")
+	loop := f.AddBlock("loop")
+	done := f.AddBlock("done")
+	f.Emit(init,
+		ir.Li(isa.R(1), 0), // i
+		ir.Li(isa.R(2), 0), // sum
+		ir.Li(isa.R(3), n),
+		ir.Li(isa.R(4), int64(out)),
+	)
+	f.Emit(loop,
+		ir.Add(isa.R(2), isa.R(2), isa.R(1)),
+		ir.Addi(isa.R(1), isa.R(1), 1),
+		ir.Cmp(isa.CMPLT, isa.R(5), isa.R(1), isa.R(3)),
+		ir.Br(isa.R(5), loop),
+	)
+	f.Emit(done, ir.St(isa.R(4), 0, isa.R(2)), ir.Halt())
+	return &ir.Program{Funcs: []*ir.Func{f}}
+}
+
+func TestRunSumLoop(t *testing.T) {
+	out := uint64(mem.FaultBoundary)
+	im := ir.MustLinearize(sumLoop(10, out))
+	m := mem.New()
+	st, stats, err := Run(im, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Halted {
+		t.Error("program must halt")
+	}
+	v, _ := m.Load(out)
+	if v != 45 {
+		t.Errorf("sum = %d, want 45", v)
+	}
+	if stats.Branches != 10 || stats.Taken != 9 {
+		t.Errorf("branch stats: %d exec, %d taken; want 10, 9", stats.Branches, stats.Taken)
+	}
+	if stats.Stores != 1 {
+		t.Errorf("stores = %d, want 1", stats.Stores)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	// Infinite loop.
+	f := &ir.Func{Name: "main"}
+	l := f.AddBlock("l")
+	e := f.AddBlock("e")
+	f.Emit(l, ir.Jmp(l))
+	f.Emit(e, ir.Halt())
+	im := ir.MustLinearize(&ir.Program{Funcs: []*ir.Func{f}})
+	_, stats, err := Run(im, mem.New(), Options{MaxInstrs: 1000})
+	if err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Fatalf("want instruction-limit error, got %v", err)
+	}
+	if stats.Instrs != 1000 {
+		t.Errorf("ran %d instrs, want exactly 1000", stats.Instrs)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// callee: r1 = r1*2; ret.  main: r1 = 21; call; store r1; halt.
+	callee := &ir.Func{Name: "double"}
+	cb := callee.AddBlock("entry")
+	callee.Emit(cb, ir.Muli(isa.R(1), isa.R(1), 2), ir.Ret())
+
+	main := &ir.Func{Name: "main"}
+	m0 := main.AddBlock("m0")
+	m1 := main.AddBlock("m1")
+	main.Emit(m0, ir.Li(isa.R(1), 21), ir.Li(isa.R(2), mem.FaultBoundary), ir.Call(1))
+	main.Emit(m1, ir.St(isa.R(2), 0, isa.R(1)), ir.Halt())
+
+	im := ir.MustLinearize(&ir.Program{Funcs: []*ir.Func{main, callee}})
+	mm := mem.New()
+	if _, _, err := Run(im, mm, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := mm.Load(mem.FaultBoundary)
+	if v != 42 {
+		t.Errorf("call/ret result = %d, want 42", v)
+	}
+}
+
+// decomposedHammock builds a hand-decomposed branch in the Fig. 5(d) shape:
+//
+//	A:   predict -> CA'
+//	BA': cmp; resolve(expect=false) -> CorrC;  B': r10 = 111; jmp D
+//	CA': cmp; resolve(expect=true)  -> CorrB;  C': r10 = 222; jmp D
+//	CorrC: jmp C'   CorrB: jmp B'
+//	D:   store r10; halt
+func decomposedHammock(condVal int64) *ir.Program {
+	f := &ir.Func{Name: "main"}
+	a := f.AddBlock("A")
+	ba := f.AddBlock("BA'")
+	bp := f.AddBlock("B'")
+	ca := f.AddBlock("CA'")
+	cp := f.AddBlock("C'")
+	corrC := f.AddBlock("Correct-C")
+	corrB := f.AddBlock("Correct-B")
+	d := f.AddBlock("D")
+
+	f.Emit(a,
+		ir.Li(isa.R(1), condVal),
+		ir.Li(isa.R(4), mem.FaultBoundary),
+		ir.Predict(ca, 7),
+	)
+	f.Emit(ba,
+		ir.Cmp(isa.CMPNE, isa.R(2), isa.R(1), isa.R(0)),
+		ir.Resolve(isa.R(2), false, corrC, 7),
+	)
+	f.Emit(bp, ir.Li(isa.R(10), 111), ir.Jmp(d))
+	f.Emit(ca,
+		ir.Cmp(isa.CMPNE, isa.R(2), isa.R(1), isa.R(0)),
+		ir.Resolve(isa.R(2), true, corrB, 7),
+	)
+	f.Emit(cp, ir.Li(isa.R(10), 222), ir.Jmp(d))
+	f.Emit(corrC, ir.Jmp(cp))
+	f.Emit(corrB, ir.Jmp(bp))
+	f.Emit(d, ir.St(isa.R(4), 0, isa.R(10)), ir.Halt())
+	return &ir.Program{Funcs: []*ir.Func{f}}
+}
+
+// TestPredictDirectionIsSemanticallyIrrelevant is the heart of the
+// decomposed-branch contract: whatever the front end predicts, the
+// resolve/correction machinery produces the same architectural result.
+func TestPredictDirectionIsSemanticallyIrrelevant(t *testing.T) {
+	for _, cond := range []int64{0, 1} {
+		want := int64(111) // cond==0 -> B path
+		if cond != 0 {
+			want = 222
+		}
+		for _, predictTaken := range []bool{false, true} {
+			im := ir.MustLinearize(decomposedHammock(cond))
+			m := mem.New()
+			_, stats, err := Run(im, m, Options{
+				PredictOracle: func(pc, id int) bool { return predictTaken },
+			})
+			if err != nil {
+				t.Fatalf("cond=%d predict=%v: %v", cond, predictTaken, err)
+			}
+			got, _ := m.Load(mem.FaultBoundary)
+			if got != want {
+				t.Errorf("cond=%d predict=%v: result %d, want %d", cond, predictTaken, got, want)
+			}
+			// The prediction was wrong iff predictTaken != (cond != 0);
+			// exactly then the resolve must have fired.
+			wantFire := int64(0)
+			if predictTaken != (cond != 0) {
+				wantFire = 1
+			}
+			if stats.ResolveHit != wantFire {
+				t.Errorf("cond=%d predict=%v: resolve fired %d times, want %d",
+					cond, predictTaken, stats.ResolveHit, wantFire)
+			}
+			if stats.Predicts != 1 || stats.Resolves != 1 {
+				t.Errorf("predict/resolve counts: %d/%d", stats.Predicts, stats.Resolves)
+			}
+		}
+	}
+}
+
+func TestOnBranchHook(t *testing.T) {
+	im := ir.MustLinearize(sumLoop(5, mem.FaultBoundary))
+	var seen, taken int
+	_, _, err := Run(im, mem.New(), Options{
+		OnBranch: func(pc int, ins isa.Instr, res exec.Result) {
+			if ins.Op != isa.BR {
+				t.Errorf("unexpected hook op %v", ins.Op)
+			}
+			seen++
+			if res.Taken {
+				taken++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 || taken != 4 {
+		t.Errorf("hook saw %d branches (%d taken), want 5 (4)", seen, taken)
+	}
+}
+
+func TestRunawayPCDetected(t *testing.T) {
+	// RET to a garbage address jumps outside the image.
+	f := &ir.Func{Name: "main"}
+	b := f.AddBlock("b")
+	e := f.AddBlock("e")
+	f.Emit(b, ir.Li(isa.R(63), 99999), ir.Ret())
+	f.Emit(e, ir.Halt())
+	im := ir.MustLinearize(&ir.Program{Funcs: []*ir.Func{f}})
+	_, _, err := Run(im, mem.New(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "outside image") {
+		t.Fatalf("want out-of-image error, got %v", err)
+	}
+}
+
+func TestSuppressedFaultCounting(t *testing.T) {
+	f := &ir.Func{Name: "main"}
+	b := f.AddBlock("b")
+	e := f.AddBlock("e")
+	f.Emit(b,
+		ir.LdSpec(isa.R(1), isa.R(0), 0),                        // address 0 faults, suppressed
+		ir.LdSpec(isa.R(2), isa.R(0), int64(mem.FaultBoundary)), // fine
+		ir.Li(isa.R(1), 0),                                      // clear the poison before halt
+	)
+	f.Emit(e, ir.Halt())
+	im := ir.MustLinearize(&ir.Program{Funcs: []*ir.Func{f}})
+	_, stats, err := Run(im, mem.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Suppressed != 1 || stats.Loads != 2 {
+		t.Errorf("suppressed=%d loads=%d, want 1 and 2", stats.Suppressed, stats.Loads)
+	}
+}
+
+func TestPoisonConsumptionAbortsRun(t *testing.T) {
+	f := &ir.Func{Name: "main"}
+	b := f.AddBlock("b")
+	e := f.AddBlock("e")
+	f.Emit(b,
+		ir.Li(isa.R(2), mem.FaultBoundary),
+		ir.LdSpec(isa.R(1), isa.R(0), 0),
+		ir.St(isa.R(2), 0, isa.R(1)), // consumes poison
+	)
+	f.Emit(e, ir.Halt())
+	im := ir.MustLinearize(&ir.Program{Funcs: []*ir.Func{f}})
+	_, _, err := Run(im, mem.New(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "poison") {
+		t.Fatalf("want poison fault, got %v", err)
+	}
+}
+
+func TestStatsCountPredictsAndStores(t *testing.T) {
+	im := ir.MustLinearize(decomposedHammock(1))
+	_, stats, err := Run(im, mem.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Predicts != 1 || stats.Resolves != 1 || stats.Stores != 1 {
+		t.Errorf("stats: %+v", stats)
+	}
+}

@@ -1,0 +1,237 @@
+// Package ir provides the compiler intermediate representation the
+// Decomposed Branch Transformation operates on: functions of basic blocks
+// over the vanguard ISA, with an explicit control-flow graph, liveness
+// analysis, and a linearizer that lays blocks out into a flat instruction
+// image for the simulators.
+//
+// Layout convention: the block slice order IS the code layout order. A
+// block whose last instruction is not a terminator, or whose terminator is
+// conditional (BR, RESOLVE, PREDICT) or a CALL, falls through to the next
+// block in the slice. Instruction Target fields hold block indices within
+// the same function, except CALL whose Target is a function index within
+// the program.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"vanguard/internal/isa"
+)
+
+// Block is a basic block: straight-line code where only the final
+// instruction may transfer control.
+type Block struct {
+	Label  string
+	Instrs []isa.Instr
+}
+
+// Terminator returns the block's final instruction and whether it is a
+// control-flow terminator.
+func (b *Block) Terminator() (isa.Instr, bool) {
+	if len(b.Instrs) == 0 {
+		return isa.Instr{}, false
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	return last, last.IsTerminator()
+}
+
+// Func is a single function.
+type Func struct {
+	Name   string
+	Blocks []*Block
+}
+
+// AddBlock appends an empty block and returns its index.
+func (f *Func) AddBlock(label string) int {
+	f.Blocks = append(f.Blocks, &Block{Label: label})
+	return len(f.Blocks) - 1
+}
+
+// Emit appends an instruction to block b.
+func (f *Func) Emit(b int, ins ...isa.Instr) {
+	f.Blocks[b].Instrs = append(f.Blocks[b].Instrs, ins...)
+}
+
+// NumInstrs returns the static instruction count of the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Succs returns the successor block indices of block i, in order
+// (taken target first for conditional control flow, then fall-through).
+// RET and HALT have no successors; CALL's successor is its fall-through
+// (the call edge is interprocedural and not part of the function CFG).
+func (f *Func) Succs(i int) []int {
+	b := f.Blocks[i]
+	term, ok := b.Terminator()
+	if !ok { // plain fall-through
+		if i+1 < len(f.Blocks) {
+			return []int{i + 1}
+		}
+		return nil
+	}
+	switch term.Op {
+	case isa.JMP:
+		return []int{term.Target}
+	case isa.BR, isa.RESOLVE, isa.PREDICT:
+		s := []int{term.Target}
+		if i+1 < len(f.Blocks) {
+			s = append(s, i+1)
+		}
+		return s
+	case isa.CALL:
+		if i+1 < len(f.Blocks) {
+			return []int{i + 1}
+		}
+		return nil
+	default: // RET, HALT
+		return nil
+	}
+}
+
+// Preds returns the predecessor lists of every block.
+func (f *Func) Preds() [][]int {
+	preds := make([][]int, len(f.Blocks))
+	for i := range f.Blocks {
+		for _, s := range f.Succs(i) {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	return preds
+}
+
+// ReversePostorder returns block indices in reverse postorder from the
+// entry (block 0). Unreachable blocks are appended afterwards in slice
+// order so analyses still cover them.
+func (f *Func) ReversePostorder() []int {
+	seen := make([]bool, len(f.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(i int) {
+		seen[i] = true
+		for _, s := range f.Succs(i) {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, i)
+	}
+	if len(f.Blocks) > 0 {
+		dfs(0)
+	}
+	order := make([]int, 0, len(f.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for i := range f.Blocks {
+		if !seen[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	c := &Func{Name: f.Name, Blocks: make([]*Block, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		nb := &Block{Label: b.Label, Instrs: make([]isa.Instr, len(b.Instrs))}
+		copy(nb.Instrs, b.Instrs)
+		c.Blocks[i] = nb
+	}
+	return c
+}
+
+// String disassembles the function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", f.Name)
+	for i, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s (block %d):\n", b.Label, i)
+		for _, ins := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", ins)
+		}
+	}
+	return sb.String()
+}
+
+// Program is a whole program: a set of functions, entered at Funcs[0].
+type Program struct {
+	Funcs []*Func
+}
+
+// AddFunc appends a function and returns its index.
+func (p *Program) AddFunc(f *Func) int {
+	p.Funcs = append(p.Funcs, f)
+	return len(p.Funcs) - 1
+}
+
+// NumInstrs returns the static instruction count of the program.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	c := &Program{Funcs: make([]*Func, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		c.Funcs[i] = f.Clone()
+	}
+	return c
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// Verify checks structural invariants: non-empty entry function, in-range
+// block and function targets, terminators only in final position, and
+// that the final block of each function does not fall off the end.
+func (p *Program) Verify() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("ir: program has no functions")
+	}
+	for _, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: func %q has no blocks", f.Name)
+		}
+		for bi, b := range f.Blocks {
+			for ii, ins := range b.Instrs {
+				if ins.IsTerminator() && ii != len(b.Instrs)-1 {
+					return fmt.Errorf("ir: %s/%s: terminator %v not at block end", f.Name, b.Label, ins)
+				}
+				switch ins.Op {
+				case isa.CALL:
+					if ins.Target < 0 || ins.Target >= len(p.Funcs) {
+						return fmt.Errorf("ir: %s/%s: call target %d out of range", f.Name, b.Label, ins.Target)
+					}
+				case isa.BR, isa.JMP, isa.PREDICT, isa.RESOLVE:
+					if ins.Target < 0 || ins.Target >= len(f.Blocks) {
+						return fmt.Errorf("ir: %s/%s: branch target %d out of range", f.Name, b.Label, ins.Target)
+					}
+				}
+			}
+			term, isTerm := b.Terminator()
+			fallsThrough := !isTerm || term.Op == isa.BR || term.Op == isa.RESOLVE ||
+				term.Op == isa.PREDICT || term.Op == isa.CALL
+			if fallsThrough && bi == len(f.Blocks)-1 {
+				return fmt.Errorf("ir: %s/%s: final block falls off the end of the function", f.Name, b.Label)
+			}
+		}
+	}
+	return nil
+}

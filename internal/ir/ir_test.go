@@ -1,0 +1,288 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"vanguard/internal/isa"
+)
+
+// diamond builds the canonical hammock used throughout the paper:
+//
+//	A: cmp; br -> C
+//	B: ... (fallthrough from A)
+//	C: ...
+//	D: join, halt
+func diamond() *Func {
+	f := &Func{Name: "diamond"}
+	a := f.AddBlock("A")
+	b := f.AddBlock("B")
+	c := f.AddBlock("C")
+	d := f.AddBlock("D")
+	f.Emit(a, Li(isa.R(1), 5), Cmp(isa.CMPLT, isa.R(2), isa.R(1), isa.R(0)), BrID(isa.R(2), c, 1))
+	f.Emit(b, Addi(isa.R(3), isa.R(3), 1), Jmp(d))
+	f.Emit(c, Addi(isa.R(4), isa.R(4), 1)) // falls through to D
+	f.Emit(d, Halt())
+	return f
+}
+
+func TestSuccsPreds(t *testing.T) {
+	f := diamond()
+	wantSuccs := [][]int{{2, 1}, {3}, {3}, nil}
+	for i, want := range wantSuccs {
+		got := f.Succs(i)
+		if len(got) != len(want) {
+			t.Fatalf("Succs(%d) = %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Errorf("Succs(%d) = %v, want %v", i, got, want)
+			}
+		}
+	}
+	preds := f.Preds()
+	if len(preds[3]) != 2 {
+		t.Errorf("join block should have 2 preds, got %v", preds[3])
+	}
+	if len(preds[0]) != 0 {
+		t.Errorf("entry should have no preds, got %v", preds[0])
+	}
+}
+
+func TestSuccsOfDecomposedOps(t *testing.T) {
+	f := &Func{Name: "g"}
+	a := f.AddBlock("A")
+	ba := f.AddBlock("BA'")
+	bp := f.AddBlock("B'")
+	corr := f.AddBlock("CorrC")
+	f.Emit(a, Predict(corr, 1))
+	f.Emit(ba, Resolve(isa.R(1), false, corr, 1))
+	f.Emit(bp, Halt())
+	f.Emit(corr, Halt())
+
+	if s := f.Succs(a); len(s) != 2 || s[0] != corr || s[1] != ba {
+		t.Errorf("PREDICT successors = %v, want [%d %d]", s, corr, ba)
+	}
+	if s := f.Succs(ba); len(s) != 2 || s[0] != corr || s[1] != bp {
+		t.Errorf("RESOLVE successors = %v, want [%d %d]", s, corr, bp)
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	f := diamond()
+	order := f.ReversePostorder()
+	if len(order) != 4 || order[0] != 0 {
+		t.Fatalf("RPO = %v; must start at entry and cover all blocks", order)
+	}
+	pos := make([]int, 4)
+	for i, b := range order {
+		pos[b] = i
+	}
+	// Join must come after both arms; arms after entry.
+	if !(pos[0] < pos[1] && pos[0] < pos[2] && pos[1] < pos[3] && pos[2] < pos[3]) {
+		t.Errorf("RPO %v does not topologically order the diamond", order)
+	}
+}
+
+func TestReversePostorderUnreachable(t *testing.T) {
+	f := &Func{Name: "u"}
+	a := f.AddBlock("A")
+	f.AddBlock("dead")
+	end := f.AddBlock("end")
+	f.Emit(a, Jmp(end))
+	f.Emit(1, Halt())
+	f.Emit(end, Halt())
+	order := f.ReversePostorder()
+	if len(order) != 3 {
+		t.Fatalf("RPO must include unreachable blocks: %v", order)
+	}
+}
+
+func TestVerifyCatchesBadPrograms(t *testing.T) {
+	mk := func(mut func(*Func)) *Program {
+		f := diamond()
+		mut(f)
+		return &Program{Funcs: []*Func{f}}
+	}
+	cases := []struct {
+		name string
+		p    *Program
+		want string
+	}{
+		{"empty program", &Program{}, "no functions"},
+		{"empty func", &Program{Funcs: []*Func{{Name: "e"}}}, "no blocks"},
+		{"mid-block terminator", mk(func(f *Func) {
+			f.Blocks[1].Instrs = []isa.Instr{Jmp(3), Nop()}
+		}), "not at block end"},
+		{"branch target out of range", mk(func(f *Func) {
+			f.Blocks[0].Instrs[2].Target = 99
+		}), "out of range"},
+		{"fall off end", mk(func(f *Func) {
+			f.Blocks[3].Instrs = []isa.Instr{Nop()}
+		}), "falls off the end"},
+		{"call target out of range", mk(func(f *Func) {
+			f.Blocks[1].Instrs = []isa.Instr{Call(7), Jmp(3)}
+		}), "call target"},
+	}
+	for _, c := range cases {
+		err := c.p.Verify()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Verify() = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+	good := &Program{Funcs: []*Func{diamond()}}
+	if err := good.Verify(); err != nil {
+		t.Errorf("good program failed verification: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Program{Funcs: []*Func{diamond()}}
+	c := p.Clone()
+	c.Funcs[0].Blocks[0].Instrs[0].Imm = 999
+	c.Funcs[0].Blocks[0].Label = "mutated"
+	if p.Funcs[0].Blocks[0].Instrs[0].Imm == 999 || p.Funcs[0].Blocks[0].Label == "mutated" {
+		t.Error("Clone aliases the original")
+	}
+	if p.NumInstrs() != c.NumInstrs() {
+		t.Error("clone lost instructions")
+	}
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	// A: r2 = cmp(r1, r0); br r2 -> C
+	// B: r5 = r3 + 1
+	// C: r5 = r4 + 1
+	// D: st [r6] = r5; halt
+	f := &Func{Name: "live"}
+	a := f.AddBlock("A")
+	b := f.AddBlock("B")
+	c := f.AddBlock("C")
+	d := f.AddBlock("D")
+	f.Emit(a, Cmp(isa.CMPLT, isa.R(2), isa.R(1), isa.R(0)), Br(isa.R(2), c))
+	f.Emit(b, Addi(isa.R(5), isa.R(3), 1), Jmp(d))
+	f.Emit(c, Addi(isa.R(5), isa.R(4), 1))
+	f.Emit(d, St(isa.R(6), 0, isa.R(5)), Halt())
+
+	lv := ComputeLiveness(f)
+	for _, r := range []isa.Reg{isa.R(0), isa.R(1), isa.R(3), isa.R(4), isa.R(6)} {
+		if !lv.In[a].Has(r) {
+			t.Errorf("%v must be live-in at A; got %v", r, lv.In[a])
+		}
+	}
+	if lv.In[a].Has(isa.R(5)) {
+		t.Errorf("r5 is defined on all paths before use; must not be live-in at A: %v", lv.In[a])
+	}
+	if !lv.In[b].Has(isa.R(3)) || lv.In[b].Has(isa.R(4)) {
+		t.Errorf("B live-in wrong: %v", lv.In[b])
+	}
+	if !lv.In[c].Has(isa.R(4)) || lv.In[c].Has(isa.R(3)) {
+		t.Errorf("C live-in wrong: %v", lv.In[c])
+	}
+	if !lv.Out[b].Has(isa.R(5)) || !lv.Out[c].Has(isa.R(5)) {
+		t.Error("r5 must be live-out of both arms")
+	}
+	if !lv.In[d].Has(isa.R(5)) || !lv.In[d].Has(isa.R(6)) {
+		t.Errorf("D live-in wrong: %v", lv.In[d])
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// L: r1 = r1 + 1; r2 = cmplt(r1, r9); br r2 -> L ; E: halt
+	f := &Func{Name: "loop"}
+	l := f.AddBlock("L")
+	e := f.AddBlock("E")
+	f.Emit(l, Addi(isa.R(1), isa.R(1), 1), Cmp(isa.CMPLT, isa.R(2), isa.R(1), isa.R(9)), Br(isa.R(2), l))
+	f.Emit(e, Halt())
+	lv := ComputeLiveness(f)
+	if !lv.In[0].Has(isa.R(1)) || !lv.In[0].Has(isa.R(9)) {
+		t.Errorf("loop live-in must include r1 and r9: %v", lv.In[0])
+	}
+	if !lv.Out[0].Has(isa.R(1)) {
+		t.Errorf("r1 must be live around the back edge: %v", lv.Out[0])
+	}
+}
+
+func TestLiveBefore(t *testing.T) {
+	f := &Func{Name: "lb"}
+	a := f.AddBlock("A")
+	e := f.AddBlock("E")
+	f.Emit(a,
+		Li(isa.R(1), 1),                    // 0
+		Addi(isa.R(2), isa.R(1), 1),        // 1
+		Add(isa.R(3), isa.R(2), isa.R(10)), // 2
+		St(isa.R(11), 0, isa.R(3)),         // 3
+	)
+	f.Emit(e, Halt())
+	lv := ComputeLiveness(f)
+	at1 := lv.LiveBefore(f, a, 1)
+	if !at1.Has(isa.R(1)) || at1.Has(isa.R(2)) || at1.Has(isa.R(3)) {
+		t.Errorf("LiveBefore(1) = %v", at1)
+	}
+	at3 := lv.LiveBefore(f, a, 3)
+	if !at3.Has(isa.R(3)) || !at3.Has(isa.R(11)) || at3.Has(isa.R(1)) && false {
+		t.Errorf("LiveBefore(3) = %v", at3)
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	p := &Program{Funcs: []*Func{diamond()}}
+	im, err := Linearize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Instrs) != p.NumInstrs() {
+		t.Fatalf("image has %d instrs, program has %d", len(im.Instrs), p.NumInstrs())
+	}
+	if im.Entry != 0 {
+		t.Errorf("entry PC = %d, want 0", im.Entry)
+	}
+	// The A-block branch must now target block C's start PC.
+	br := im.Instrs[2]
+	if br.Op != isa.BR || br.Target != im.BlockPCs[0][2] {
+		t.Errorf("branch target not resolved: %v (C at %d)", br, im.BlockPCs[0][2])
+	}
+	if im.CodeBytes() != len(im.Instrs)*isa.InstrBytes {
+		t.Error("CodeBytes mismatch")
+	}
+	if im.PCAddr(1) != CodeBase+uint64(isa.InstrBytes) {
+		t.Error("PCAddr wrong")
+	}
+}
+
+func TestLinearizeCallTargets(t *testing.T) {
+	callee := &Func{Name: "callee"}
+	cb := callee.AddBlock("entry")
+	callee.Emit(cb, Addi(isa.R(1), isa.R(1), 1), Ret())
+
+	caller := &Func{Name: "main"}
+	m0 := caller.AddBlock("m0")
+	m1 := caller.AddBlock("m1")
+	caller.Emit(m0, Call(1))
+	caller.Emit(m1, Halt())
+
+	p := &Program{Funcs: []*Func{caller, callee}}
+	im := MustLinearize(p)
+	if im.Instrs[0].Op != isa.CALL || im.Instrs[0].Target != im.FuncEntries[1] {
+		t.Errorf("call not resolved to callee entry: %v, entries %v", im.Instrs[0], im.FuncEntries)
+	}
+	_ = m1
+}
+
+func TestMustLinearizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLinearize should panic on invalid program")
+		}
+	}()
+	MustLinearize(&Program{})
+}
+
+func TestFuncString(t *testing.T) {
+	s := diamond().String()
+	for _, want := range []string{"func diamond", "A (block 0)", "br r2, @2", "halt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ir
+
+import "vanguard/internal/isa"
+
+// Liveness holds the per-block live-in/live-out register sets of a
+// function, computed by the standard backward dataflow iteration.
+type Liveness struct {
+	In  []RegSet
+	Out []RegSet
+}
+
+// ComputeLiveness runs the backward may-liveness analysis. Because the IR
+// has no explicit function-exit live set, registers read by RET (the return
+// address) and anything a caller might consume must be modelled by the
+// caller of this analysis; for the hoisting legality checks performed by
+// the decomposed branch transformation, block-level precision within the
+// function is what matters.
+func ComputeLiveness(f *Func) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{In: make([]RegSet, n), Out: make([]RegSet, n)}
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	for i, b := range f.Blocks {
+		for _, ins := range b.Instrs {
+			a, bb, cc := ins.Uses()
+			for _, u := range [...]isa.Reg{a, bb, cc} {
+				if u != isa.NoReg && !def[i].Has(u) {
+					use[i].Add(u)
+				}
+			}
+			def[i].Add(ins.Def())
+		}
+	}
+	// Iterate to fixpoint; process in postorder-ish (reverse of RPO) for
+	// fast convergence.
+	order := f.ReversePostorder()
+	changed := true
+	for changed {
+		changed = false
+		for k := len(order) - 1; k >= 0; k-- {
+			i := order[k]
+			var out RegSet
+			for _, s := range f.Succs(i) {
+				out = out.Union(lv.In[s])
+			}
+			in := use[i].Union(RegSet{out[0] &^ def[i][0], out[1] &^ def[i][1]})
+			if !out.Equal(lv.Out[i]) || !in.Equal(lv.In[i]) {
+				lv.Out[i], lv.In[i] = out, in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveBefore returns the set of registers live immediately before
+// instruction index k of block b, by walking backward from the block's
+// live-out. Useful for finding free temporaries at a program point.
+func (lv *Liveness) LiveBefore(f *Func, b, k int) RegSet {
+	live := lv.Out[b]
+	ins := f.Blocks[b].Instrs
+	for i := len(ins) - 1; i >= k; i-- {
+		live.Remove(ins[i].Def())
+		a, bb, cc := ins[i].Uses()
+		live.Add(a)
+		live.Add(bb)
+		live.Add(cc)
+	}
+	return live
+}

@@ -1,0 +1,63 @@
+package ir
+
+import (
+	"strings"
+
+	"vanguard/internal/isa"
+)
+
+// RegSet is a bitset over the architectural register file, used by the
+// liveness analysis and the hoisting legality checks.
+type RegSet [2]uint64
+
+// Add inserts r into the set (NoReg is ignored).
+func (s *RegSet) Add(r isa.Reg) {
+	if r == isa.NoReg {
+		return
+	}
+	s[r>>6] |= 1 << (r & 63)
+}
+
+// Remove deletes r from the set.
+func (s *RegSet) Remove(r isa.Reg) {
+	if r == isa.NoReg {
+		return
+	}
+	s[r>>6] &^= 1 << (r & 63)
+}
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r isa.Reg) bool {
+	if r == isa.NoReg {
+		return false
+	}
+	return s[r>>6]&(1<<(r&63)) != 0
+}
+
+// Union returns s ∪ o.
+func (s RegSet) Union(o RegSet) RegSet { return RegSet{s[0] | o[0], s[1] | o[1]} }
+
+// Equal reports set equality.
+func (s RegSet) Equal(o RegSet) bool { return s == o }
+
+// Len returns the cardinality.
+func (s RegSet) Len() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// String lists members in register order.
+func (s RegSet) String() string {
+	var parts []string
+	for r := 0; r < isa.NumRegs; r++ {
+		if s.Has(isa.Reg(r)) {
+			parts = append(parts, isa.Reg(r).String())
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vanguard/internal/isa"
+)
+
+func TestRegSetBasics(t *testing.T) {
+	var s RegSet
+	if s.Len() != 0 || s.Has(isa.R(0)) {
+		t.Fatal("zero RegSet must be empty")
+	}
+	s.Add(isa.R(3))
+	s.Add(isa.F(7)) // register 71, exercises the high word
+	s.Add(isa.NoReg)
+	if !s.Has(isa.R(3)) || !s.Has(isa.F(7)) || s.Len() != 2 {
+		t.Errorf("set contents wrong: %v (len %d)", s, s.Len())
+	}
+	if s.Has(isa.NoReg) {
+		t.Error("NoReg must never be a member")
+	}
+	s.Remove(isa.R(3))
+	if s.Has(isa.R(3)) || s.Len() != 1 {
+		t.Errorf("remove failed: %v", s)
+	}
+	s.Remove(isa.NoReg) // must be a no-op
+	if s.Len() != 1 {
+		t.Error("Remove(NoReg) changed the set")
+	}
+}
+
+func TestRegSetUnionString(t *testing.T) {
+	var a, b RegSet
+	a.Add(isa.R(1))
+	b.Add(isa.F(0))
+	u := a.Union(b)
+	if !u.Has(isa.R(1)) || !u.Has(isa.F(0)) || u.Len() != 2 {
+		t.Errorf("union wrong: %v", u)
+	}
+	if got := u.String(); got != "{r1,f0}" {
+		t.Errorf("String() = %q", got)
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("Equal wrong")
+	}
+}
+
+// Property: Add then Has holds, and membership of other registers is
+// unchanged, for every architectural register.
+func TestRegSetAddHasProperty(t *testing.T) {
+	f := func(rs []uint8, probe uint8) bool {
+		var s RegSet
+		in := map[isa.Reg]bool{}
+		for _, r := range rs {
+			reg := isa.Reg(r % isa.NumRegs)
+			s.Add(reg)
+			in[reg] = true
+		}
+		p := isa.Reg(probe % isa.NumRegs)
+		if s.Has(p) != in[p] {
+			return false
+		}
+		return s.Len() == len(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

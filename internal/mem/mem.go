@@ -1,0 +1,135 @@
+// Package mem provides the sparse data memory of the vanguard machine.
+//
+// Memory is byte-addressed but accessed in aligned 64-bit words; the
+// backing store is paged so that programs with multi-megabyte footprints
+// (needed to provoke realistic L2/L3 miss rates) stay cheap to simulate.
+// Addresses below FaultBoundary fault, modelling the unmapped null page
+// that makes control-speculated loads dangerous in real programs.
+package mem
+
+import "fmt"
+
+const (
+	// PageBytes is the size of one backing page.
+	PageBytes = 1 << 16
+	wordsPP   = PageBytes / 8
+
+	// FaultBoundary is the lowest valid address: accesses below it fault,
+	// like dereferences of null-ish pointers.
+	FaultBoundary = 4096
+)
+
+// Fault describes a memory access fault.
+type Fault struct {
+	Addr  uint64
+	Write bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	kind := "load"
+	if f.Write {
+		kind = "store"
+	}
+	return fmt.Sprintf("memory fault: %s at %#x", kind, f.Addr)
+}
+
+// Memory is a sparse, paged 64-bit word store.
+type Memory struct {
+	pages map[uint64]*[wordsPP]int64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[wordsPP]int64)}
+}
+
+// valid reports whether the address is mapped-legal and aligned.
+func valid(addr uint64) bool {
+	return addr >= FaultBoundary && addr%8 == 0
+}
+
+// Load reads the 64-bit word at addr. It returns a *Fault error for
+// misaligned or out-of-bounds addresses.
+func (m *Memory) Load(addr uint64) (int64, error) {
+	if !valid(addr) {
+		return 0, &Fault{Addr: addr}
+	}
+	page, ok := m.pages[addr/PageBytes]
+	if !ok {
+		return 0, nil // unwritten memory reads as zero
+	}
+	return page[(addr%PageBytes)/8], nil
+}
+
+// Store writes the 64-bit word at addr.
+func (m *Memory) Store(addr uint64, v int64) error {
+	if !valid(addr) {
+		return &Fault{Addr: addr, Write: true}
+	}
+	pn := addr / PageBytes
+	page, ok := m.pages[pn]
+	if !ok {
+		page = new([wordsPP]int64)
+		m.pages[pn] = page
+	}
+	page[(addr%PageBytes)/8] = v
+	return nil
+}
+
+// MustStore stores and panics on fault; used by program loaders that write
+// only known-good addresses.
+func (m *Memory) MustStore(addr uint64, v int64) {
+	if err := m.Store(addr, v); err != nil {
+		panic(err)
+	}
+}
+
+// StoreWords writes a contiguous slice of words starting at base.
+func (m *Memory) StoreWords(base uint64, vs []int64) error {
+	for i, v := range vs {
+		if err := m.Store(base+uint64(i)*8, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Footprint returns the number of distinct pages ever written.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Clone returns a deep copy, used to snapshot initial program state so the
+// timing and functional simulators can run from identical memories.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for pn, page := range m.pages {
+		cp := *page
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents. Pages of all
+// zeros are treated as absent, so a written-then-zeroed page equals an
+// untouched one.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetOf(o) && o.subsetOf(m)
+}
+
+func (m *Memory) subsetOf(o *Memory) bool {
+	for pn, page := range m.pages {
+		op, ok := o.pages[pn]
+		if !ok {
+			for _, v := range page {
+				if v != 0 {
+					return false
+				}
+			}
+			continue
+		}
+		if *page != *op {
+			return false
+		}
+	}
+	return true
+}

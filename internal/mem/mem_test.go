@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New()
+	addrs := []uint64{FaultBoundary, FaultBoundary + 8, 1 << 20, 3 << 24}
+	for i, a := range addrs {
+		if err := m.Store(a, int64(i)*1000-7); err != nil {
+			t.Fatalf("Store(%#x): %v", a, err)
+		}
+	}
+	for i, a := range addrs {
+		v, err := m.Load(a)
+		if err != nil {
+			t.Fatalf("Load(%#x): %v", a, err)
+		}
+		if want := int64(i)*1000 - 7; v != want {
+			t.Errorf("Load(%#x) = %d, want %d", a, v, want)
+		}
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := New()
+	v, err := m.Load(1 << 30)
+	if err != nil || v != 0 {
+		t.Fatalf("Load of untouched memory = %d, %v; want 0, nil", v, err)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	m := New()
+	cases := []struct {
+		addr  uint64
+		write bool
+	}{
+		{0, false}, {0, true},
+		{8, false},                  // below FaultBoundary
+		{FaultBoundary - 8, true},   // below FaultBoundary
+		{FaultBoundary + 1, false},  // misaligned
+		{FaultBoundary + 12, false}, // misaligned
+	}
+	for _, c := range cases {
+		var err error
+		if c.write {
+			err = m.Store(c.addr, 1)
+		} else {
+			_, err = m.Load(c.addr)
+		}
+		f, ok := err.(*Fault)
+		if !ok {
+			t.Errorf("addr %#x write=%v: got %v, want *Fault", c.addr, c.write, err)
+			continue
+		}
+		if f.Addr != c.addr || f.Write != c.write {
+			t.Errorf("fault fields wrong: %+v", f)
+		}
+		if f.Error() == "" {
+			t.Error("empty fault message")
+		}
+	}
+}
+
+func TestMustStorePanicsOnFault(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustStore(0) should panic")
+		}
+	}()
+	New().MustStore(0, 1)
+}
+
+func TestStoreWords(t *testing.T) {
+	m := New()
+	vs := []int64{1, -2, 3, -4, 5}
+	base := uint64(PageBytes - 16) // straddles a page boundary
+	if base < FaultBoundary {
+		t.Fatal("test base must be valid")
+	}
+	if err := m.StoreWords(base, vs); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vs {
+		got, err := m.Load(base + uint64(i)*8)
+		if err != nil || got != want {
+			t.Errorf("word %d = %d, %v; want %d", i, got, err, want)
+		}
+	}
+	if m.Footprint() != 2 {
+		t.Errorf("Footprint() = %d, want 2 (write straddles pages)", m.Footprint())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.MustStore(FaultBoundary, 11)
+	c := m.Clone()
+	c.MustStore(FaultBoundary, 99)
+	v, _ := m.Load(FaultBoundary)
+	if v != 11 {
+		t.Errorf("clone aliased original: got %d", v)
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("memory must equal its own clone")
+	}
+}
+
+func TestEqualTreatsZeroPagesAsAbsent(t *testing.T) {
+	a, b := New(), New()
+	a.MustStore(FaultBoundary, 5)
+	a.MustStore(FaultBoundary, 0) // page exists but is all zero
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("zeroed page must compare equal to absent page")
+	}
+	a.MustStore(FaultBoundary+8, 3)
+	if a.Equal(b) {
+		t.Error("differing memories compared equal")
+	}
+}
+
+// Property: for any sequence of valid stores, the last store to each
+// address wins and all other addresses stay zero.
+func TestLastStoreWins(t *testing.T) {
+	f := func(offsets []uint16, vals []int64) bool {
+		m := New()
+		want := map[uint64]int64{}
+		n := len(offsets)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			addr := FaultBoundary + uint64(offsets[i])*8
+			if m.Store(addr, vals[i]) != nil {
+				return false
+			}
+			want[addr] = vals[i]
+		}
+		for a, w := range want {
+			got, err := m.Load(a)
+			if err != nil || got != w {
+				return false
+			}
+		}
+		// A nearby untouched address must read zero.
+		probe := FaultBoundary + uint64(1<<20)
+		if _, used := want[probe]; !used {
+			if got, err := m.Load(probe); err != nil || got != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package pipeline implements the cycle-level in-order superscalar
+// simulator of Table 1, extended with the paper's decomposed-branch
+// support: PREDICT instructions that steer fetch and are dropped in the
+// front end, RESOLVE instructions statically predicted not-taken, and the
+// Decomposed Branch Buffer (DBB) that re-associates each resolution with
+// the predictor metadata captured at its prediction.
+//
+// The model is execution-driven: fetch follows the predicted path
+// (including wrong paths), instructions execute architecturally at issue
+// against a speculative state, and mispredictions restore register-file /
+// history / RAS / DBB checkpoints taken when the speculation point issued.
+// Stores drain from a store buffer only once every older speculation point
+// has resolved, so wrong-path stores never reach memory.
+package pipeline
+
+import (
+	"vanguard/internal/bpred"
+	"vanguard/internal/cache"
+)
+
+// Config describes one machine configuration.
+type Config struct {
+	// Width is the fetch/decode/dispatch/issue width (Table 1 varies it
+	// over 2/4/8).
+	Width int
+	// FrontEndDepth is the number of front-end stages (Table 1: 5); an
+	// instruction fetched at cycle c can issue no earlier than
+	// c + FrontEndDepth - 1.
+	FrontEndDepth int
+	// FetchBufEntries bounds the fetch buffer (Table 1: 32).
+	FetchBufEntries int
+	// Functional unit counts (Table 1: up to 2 LD/ST, 2 INT, 4 FP).
+	IntUnits, MemUnits, FPUnits int
+	// Hier is the cache hierarchy configuration.
+	Hier cache.HierConfig
+	// NewPredictor constructs the direction predictor (fresh per run).
+	NewPredictor func() bpred.DirPredictor
+	// BTBLogEntries is log2 of BTB entries (Table 1: 4K -> 12).
+	BTBLogEntries int
+	// RASEntries is the return address stack depth (Table 1: 64).
+	RASEntries int
+	// DBBEntries is the decomposed branch buffer depth (paper: 16).
+	DBBEntries int
+
+	// ExceptionEveryN injects an exceptional control-flow event
+	// (interrupt/context-switch stand-in) every N committed instructions:
+	// the fetch buffer is squashed, a handler penalty is charged, and the
+	// DBB tail is moved by handler activity — the hazard Section 4
+	// discusses. 0 disables injection.
+	ExceptionEveryN int64
+	// DBBInvalidateOnException selects the paper's second strategy: mark
+	// all DBB entries invalid at the event so resolves whose predicts
+	// predate it suppress their (now meaningless) predictor updates.
+	// False selects the first strategy: ignore the event and tolerate
+	// spurious updates.
+	DBBInvalidateOnException bool
+
+	// MaxInstrs stops the simulation after this many committed
+	// instructions (0 = unlimited); MaxCycles likewise.
+	MaxInstrs int64
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Table 1 machine at the given width.
+func DefaultConfig(width int) Config {
+	return Config{
+		Width:           width,
+		FrontEndDepth:   5,
+		FetchBufEntries: 32,
+		IntUnits:        2,
+		MemUnits:        2,
+		FPUnits:         4,
+		Hier:            cache.DefaultHierConfig(),
+		NewPredictor:    func() bpred.DirPredictor { return bpred.NewDefault() },
+		BTBLogEntries:   12,
+		RASEntries:      64,
+		DBBEntries:      16,
+	}
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Cycles    int64
+	Fetched   int64
+	Issued    int64
+	Committed int64
+	// WrongPathIssued counts instructions that issued and were later
+	// squashed (Figure 14's numerator).
+	WrongPathIssued int64
+	// SquashedFetched counts instructions fetched but never issued.
+	SquashedFetched int64
+	Halted          bool
+
+	// Branch behaviour.
+	CondBranches   int64 // committed BR instructions
+	Predicts       int64 // PREDICT instructions consumed by the front end
+	Resolves       int64 // committed RESOLVE instructions
+	BrMispredicts  int64 // BR direction mispredictions
+	ResMispredicts int64 // RESOLVE firings (decomposed-branch repairs)
+	RetMispredicts int64 // RAS target mispredictions
+	Flushes        int64 // pipeline flushes (one per misprediction recovery)
+
+	// Stall attribution at the issue head.
+	ResolveStallCycles int64 // head is a RESOLVE waiting on its condition
+	BranchStallCycles  int64 // head is a BR waiting on its condition
+	OperandStallCycles int64 // head waits on operands (all kinds)
+	FUStallCycles      int64 // head ready but no port/unit free
+	EmptyFetchCycles   int64 // nothing issuable in the buffer
+
+	// Exceptions counts injected exceptional control-flow events.
+	Exceptions int64
+
+	// MaxDBBOccupancy is the high-water mark of simultaneously
+	// outstanding decomposed branches (predicts fetched whose resolves
+	// have not yet been fetched). The paper sizes the DBB at 16 after
+	// observing this stays small under in-order back-pressure.
+	MaxDBBOccupancy int
+
+	// Memory system (mirrors of hierarchy counters for convenience).
+	L1DMissRate            float64
+	L1IMissRate            float64
+	ICacheMisses           int64
+	ICacheMissUnderMispred int64
+
+	// Per static branch (by BranchID): execution/misprediction/stall.
+	PerBranch map[int]*BranchStats
+}
+
+// BranchStats tracks one static (decomposed or plain) branch.
+type BranchStats struct {
+	Execs       int64
+	Mispredicts int64
+	StallCycles int64 // issue-head stall cycles attributed to this branch
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MPKI returns branch mispredictions (all kinds) per thousand committed
+// instructions — the paper's MPPKI metric.
+func (s *Stats) MPKI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.BrMispredicts+s.ResMispredicts+s.RetMispredicts) * 1000 / float64(s.Committed)
+}
+
+func (s *Stats) branch(id int) *BranchStats {
+	if s.PerBranch == nil {
+		s.PerBranch = make(map[int]*BranchStats)
+	}
+	b := s.PerBranch[id]
+	if b == nil {
+		b = &BranchStats{}
+		s.PerBranch[id] = b
+	}
+	return b
+}

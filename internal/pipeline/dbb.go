@@ -1,0 +1,76 @@
+package pipeline
+
+import "vanguard/internal/bpred"
+
+// DBBEntryBits is the architected size of one DBB entry: 16 bits of
+// predictor table indices plus 8 bits of prediction metadata (Section 4).
+const DBBEntryBits = 24
+
+// dbbEntry is one Decomposed Branch Buffer slot. The simulator-level meta
+// stands in for the architected 24 bits.
+type dbbEntry struct {
+	pc       uint64     // PC of the PREDICT instruction
+	pred     bool       // direction the front end chose
+	meta     bpred.Meta // predictor metadata for the out-of-place update
+	histCkpt bpred.Hist // history checkpoint for misprediction repair
+	valid    bool
+}
+
+// DBB is the Decomposed Branch Buffer: a small circular buffer written at
+// each PREDICT and read by the matching RESOLVE, which by construction
+// (the compiler neither reorders nor interleaves predict/resolve pairs)
+// is always the most recent insertion.
+type DBB struct {
+	entries []dbbEntry
+	tail    int // index of the most recent insertion
+
+	Inserts       uint64
+	Updates       uint64
+	SpuriousSkips uint64 // resolve met an invalidated entry; update suppressed
+}
+
+// NewDBB builds a DBB with n entries (the paper sizes it at 16).
+func NewDBB(n int) *DBB {
+	return &DBB{entries: make([]dbbEntry, n)}
+}
+
+// Insert records a prediction and returns the entry index, which the front
+// end attaches to the in-flight resolve instruction.
+func (d *DBB) Insert(pc uint64, pred bool, meta bpred.Meta, hist bpred.Hist) int {
+	d.tail = (d.tail + 1) % len(d.entries)
+	d.entries[d.tail] = dbbEntry{pc: pc, pred: pred, meta: meta, histCkpt: hist, valid: true}
+	d.Inserts++
+	return d.tail
+}
+
+// Tail returns the current tail index (captured by resolve instructions in
+// decode).
+func (d *DBB) Tail() int { return d.tail }
+
+// RestoreTail rewinds the tail pointer, used when a non-decomposed branch
+// misprediction squashes predict instructions that were fetched down the
+// wrong path (Section 4: "the same mechanism used to recover branch
+// history can be used for this purpose").
+func (d *DBB) RestoreTail(tail int) { d.tail = tail }
+
+// InvalidateAll marks every entry invalid; models the second Section 4
+// strategy for exceptional control flow (interrupts/context switches),
+// suppressing spurious updates afterwards.
+func (d *DBB) InvalidateAll() {
+	for i := range d.entries {
+		d.entries[i].valid = false
+	}
+}
+
+// Read fetches the entry at index for a resolving instruction. ok is false
+// when the entry was invalidated, in which case the predictor update is
+// suppressed.
+func (d *DBB) Read(index int) (dbbEntry, bool) {
+	e := d.entries[index]
+	if !e.valid {
+		d.SpuriousSkips++
+		return e, false
+	}
+	d.Updates++
+	return e, true
+}

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"vanguard/internal/bpred"
+)
+
+func TestDBBInsertReadFIFO(t *testing.T) {
+	d := NewDBB(4)
+	var hist bpred.Hist
+	hist.Push(true)
+	idx := d.Insert(0x40, true, bpred.Meta{Pred: true}, hist)
+	if idx != d.Tail() {
+		t.Fatalf("insert index %d != tail %d", idx, d.Tail())
+	}
+	e, ok := d.Read(idx)
+	if !ok || e.pc != 0x40 || !e.pred || e.histCkpt != hist {
+		t.Errorf("read back wrong entry: %+v ok=%v", e, ok)
+	}
+	if d.Inserts != 1 || d.Updates != 1 {
+		t.Errorf("counters: %d inserts %d updates", d.Inserts, d.Updates)
+	}
+}
+
+func TestDBBWraparound(t *testing.T) {
+	d := NewDBB(4)
+	var last int
+	for i := 0; i < 10; i++ {
+		last = d.Insert(uint64(i), i%2 == 0, bpred.Meta{}, bpred.Hist{})
+	}
+	if last != d.Tail() {
+		t.Fatal("tail mismatch")
+	}
+	e, ok := d.Read(d.Tail())
+	if !ok || e.pc != 9 {
+		t.Errorf("most recent insert must survive wraparound: %+v", e)
+	}
+	// The entry 4 inserts ago was overwritten by wraparound.
+	old := (d.Tail() + 1) % 4
+	if e, _ := d.Read(old); e.pc == 2 {
+		t.Error("wrapped entry should have been overwritten")
+	}
+}
+
+func TestDBBTailRestore(t *testing.T) {
+	d := NewDBB(8)
+	d.Insert(1, true, bpred.Meta{}, bpred.Hist{})
+	ckpt := d.Tail()
+	d.Insert(2, false, bpred.Meta{}, bpred.Hist{}) // wrong-path predict
+	d.Insert(3, false, bpred.Meta{}, bpred.Hist{})
+	d.RestoreTail(ckpt)
+	if d.Tail() != ckpt {
+		t.Fatal("tail not restored")
+	}
+	// The resolve matching insert 1 still finds its entry.
+	if e, ok := d.Read(d.Tail()); !ok || e.pc != 1 {
+		t.Errorf("entry after restore: %+v ok=%v", e, ok)
+	}
+}
+
+func TestDBBInvalidateSuppressesUpdates(t *testing.T) {
+	d := NewDBB(4)
+	idx := d.Insert(7, true, bpred.Meta{}, bpred.Hist{})
+	d.InvalidateAll() // exceptional control flow (Section 4, option 2)
+	if _, ok := d.Read(idx); ok {
+		t.Error("invalidated entry must suppress the update")
+	}
+	if d.SpuriousSkips != 1 {
+		t.Errorf("spurious skips = %d, want 1", d.SpuriousSkips)
+	}
+}
+
+func TestDBBEntryBitsMatchPaper(t *testing.T) {
+	if DBBEntryBits != 24 {
+		t.Errorf("the paper sizes DBB entries at 24 bits, got %d", DBBEntryBits)
+	}
+}

@@ -1,0 +1,638 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"vanguard/internal/bpred"
+	"vanguard/internal/cache"
+	"vanguard/internal/exec"
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+)
+
+// fetchEntry is one slot of the fetch buffer.
+type fetchEntry struct {
+	seq     int64
+	pc      int
+	ins     isa.Instr
+	readyAt int64 // earliest issue cycle (front-end traversal)
+
+	// Speculation metadata captured in the front end.
+	predTaken   bool       // BR: predicted direction
+	predTarget  int        // RET: RAS-predicted target
+	meta        bpred.Meta // BR: predictor metadata
+	histCkpt    bpred.Hist // history checkpoint (pre-push)
+	rasCkpt     bpred.RASCkpt
+	dbbIdx      int // RESOLVE: DBB entry to read at resolution
+	dbbTailCkpt int // DBB tail for misprediction repair
+	dbbOccCkpt  int // outstanding-decomposed-branch count at fetch
+}
+
+// specPoint is an issued-but-unresolved speculation point (BR, RESOLVE or
+// RET) with the checkpoints needed to repair a misprediction.
+type specPoint struct {
+	fe          fetchEntry
+	resolveAt   int64
+	mispredict  bool
+	redirectPC  int
+	actualTaken bool // BR: direction; RESOLVE: original branch outcome
+
+	regs     [isa.NumRegs]int64
+	poison   [isa.NumRegs]bool
+	regReady [isa.NumRegs]int64
+	halted   bool
+
+	issuedSnapshot int64
+}
+
+type sbEntry struct {
+	seq  int64
+	addr uint64
+	val  int64
+}
+
+// sbView gives exec.Step a memory with store-buffer semantics: stores are
+// buffered (squashable), loads forward from the youngest matching store.
+type sbView struct{ m *Machine }
+
+// Load implements exec.Memory.
+func (v sbView) Load(addr uint64) (int64, error) {
+	for i := len(v.m.sb) - 1; i >= 0; i-- {
+		if v.m.sb[i].addr == addr {
+			return v.m.sb[i].val, nil
+		}
+	}
+	return v.m.mem.Load(addr)
+}
+
+// Store implements exec.Memory. Fault detection happens eagerly (via a
+// probing load) so wrong-path stores to garbage addresses surface as
+// deferred faults rather than corrupting the buffer silently.
+func (v sbView) Store(addr uint64, val int64) error {
+	if _, err := v.m.mem.Load(addr); err != nil {
+		return &mem.Fault{Addr: addr, Write: true}
+	}
+	v.m.sb = append(v.m.sb, sbEntry{seq: v.m.curSeq, addr: addr, val: val})
+	return nil
+}
+
+// Machine is one configured in-order superscalar with a loaded program.
+type Machine struct {
+	cfg  Config
+	im   *ir.Image
+	mem  *mem.Memory
+	Hier *cache.Hierarchy
+	pred bpred.DirPredictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+	DBB  *DBB
+
+	st       *exec.State
+	regReady [isa.NumRegs]int64
+
+	fetchPC       int
+	fetchStall    int64
+	lastFetchLine uint64
+	fetchHalted   bool
+	fb            []fetchEntry
+	seq           int64
+	curSeq        int64
+
+	inflight []*specPoint
+	sb       []sbEntry
+
+	// Trace, when non-nil, receives a line per interesting event (issue,
+	// flush, resolution); invaluable when debugging schedules.
+	Trace func(format string, args ...any)
+
+	dbbOcc int // currently outstanding decomposed branches
+
+	nextException int64
+
+	now          int64
+	haltSeq      int64
+	pendFaultSeq int64
+	pendFaultErr error
+	underMispred bool
+
+	stats Stats
+}
+
+// New builds a machine over the image and memory (mutated during the run).
+func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
+	mach := &Machine{
+		cfg:           cfg,
+		im:            im,
+		mem:           m,
+		Hier:          cache.NewHierarchy(cfg.Hier),
+		pred:          cfg.NewPredictor(),
+		btb:           bpred.NewBTB(cfg.BTBLogEntries),
+		ras:           bpred.NewRAS(cfg.RASEntries),
+		DBB:           NewDBB(cfg.DBBEntries),
+		fetchPC:       im.Entry,
+		lastFetchLine: math.MaxUint64,
+		haltSeq:       -1,
+		pendFaultSeq:  -1,
+	}
+	mach.st = exec.NewState(sbView{mach}, im.Entry)
+	mach.nextException = cfg.ExceptionEveryN
+	return mach
+}
+
+// exceptionPenaltyCycles models the cost of entering and leaving the
+// handler (pipeline drain + flush + kernel work stand-in).
+const exceptionPenaltyCycles = 30
+
+// takeException injects an exceptional control-flow event at a quiet
+// point (no unresolved speculation): the fetch buffer is squashed and
+// refetched, a handler penalty is charged, and the handler's own
+// decomposed branches move the DBB tail. Under the paper's second
+// strategy the surviving entries are invalidated first, so resolves from
+// before the event suppress their updates instead of training garbage.
+func (m *Machine) takeException() {
+	m.stats.Exceptions++
+	if len(m.fb) > 0 {
+		m.fetchPC = m.fb[0].pc
+		m.stats.SquashedFetched += int64(len(m.fb))
+		m.fb = m.fb[:0]
+	}
+	m.fetchHalted = false
+	m.lastFetchLine = math.MaxUint64
+	m.fetchStall += exceptionPenaltyCycles
+	// Handler activity moves the DBB tail with its own decomposed
+	// branches...
+	handlerPC := uint64(0xffff0000)
+	for i := 0; i < 2; i++ {
+		taken, meta := m.pred.Predict(handlerPC + uint64(i*4))
+		m.DBB.Insert(handlerPC+uint64(i*4), taken, meta, m.pred.Checkpoint())
+	}
+	// ...and under the second strategy, the return to user code marks
+	// everything invalid, so stale pairings suppress their updates until
+	// the next predict refills the buffer.
+	if m.cfg.DBBInvalidateOnException {
+		m.DBB.InvalidateAll()
+	}
+}
+
+// Stats returns the run statistics (valid after Run).
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Memory returns the machine's architectural memory (for post-run
+// verification against a golden model).
+func (m *Machine) Memory() *mem.Memory { return m.mem }
+
+// Run simulates to HALT (or an instruction/cycle cap) and returns stats.
+func (m *Machine) Run() (*Stats, error) {
+	maxCycles := m.cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 2_000_000_000
+	}
+	for {
+		if m.now >= maxCycles {
+			return &m.stats, fmt.Errorf("pipeline: cycle limit %d reached at pc %d", maxCycles, m.fetchPC)
+		}
+		m.resolve()
+		if err := m.commitFaultCheck(); err != nil {
+			return &m.stats, err
+		}
+		m.drainStores()
+		if m.cfg.ExceptionEveryN > 0 && len(m.inflight) == 0 &&
+			m.stats.Issued-m.stats.WrongPathIssued >= m.nextException {
+			m.takeException()
+			m.nextException += m.cfg.ExceptionEveryN
+		}
+		if m.done() {
+			break
+		}
+		m.issue()
+		m.fetch()
+		m.now++
+	}
+	m.stats.Cycles = m.now
+	m.stats.Committed = m.stats.Issued - m.stats.WrongPathIssued
+	m.stats.L1DMissRate = m.Hier.L1D.MissRate()
+	m.stats.L1IMissRate = m.Hier.L1I.MissRate()
+	return &m.stats, nil
+}
+
+// done reports whether the committed HALT has drained the machine, or the
+// committed-instruction cap is reached.
+func (m *Machine) done() bool {
+	if m.cfg.MaxInstrs > 0 && m.stats.Issued-m.stats.WrongPathIssued >= m.cfg.MaxInstrs {
+		return true
+	}
+	if m.haltSeq >= 0 && len(m.inflight) == 0 {
+		m.stats.Halted = true
+		// All speculation resolved: every buffered store is committed.
+		m.drainAll()
+		return true
+	}
+	return false
+}
+
+// ---- resolution ----
+
+func (m *Machine) resolve() {
+	for len(m.inflight) > 0 && m.inflight[0].resolveAt <= m.now {
+		sp := m.inflight[0]
+		m.inflight = m.inflight[1:]
+		fe := &sp.fe
+		addr := m.im.PCAddr(fe.pc)
+
+		switch fe.ins.Op {
+		case isa.BR:
+			m.stats.CondBranches++
+			bs := m.stats.branch(fe.ins.BranchID)
+			bs.Execs++
+			if sp.mispredict {
+				m.stats.BrMispredicts++
+				bs.Mispredicts++
+				m.pred.Restore(fe.histCkpt)
+				m.pred.PushHistory(sp.actualTaken)
+			}
+			m.pred.Update(addr, sp.actualTaken, fe.meta)
+			if sp.actualTaken {
+				m.btb.Insert(addr, fe.ins.Target)
+			}
+		case isa.RESOLVE:
+			m.stats.Resolves++
+			bs := m.stats.branch(fe.ins.BranchID)
+			bs.Execs++
+			if e, ok := m.DBB.Read(fe.dbbIdx); ok {
+				if sp.mispredict {
+					// Repair history: rewind to the predict's checkpoint
+					// and push the actual outcome of the original branch.
+					m.pred.Restore(e.histCkpt)
+					m.pred.PushHistory(sp.actualTaken)
+				}
+				m.pred.Update(e.pc, sp.actualTaken, e.meta)
+			}
+			if sp.mispredict {
+				m.stats.ResMispredicts++
+				bs.Mispredicts++
+			}
+		case isa.RET:
+			if sp.mispredict {
+				m.stats.RetMispredicts++
+			}
+		}
+
+		if sp.mispredict {
+			if m.Trace != nil {
+				m.Trace("[%d] MISPREDICT %v at pc %d -> redirect %d", m.now, fe.ins, fe.pc, sp.redirectPC)
+			}
+			m.flush(sp)
+			return
+		}
+	}
+}
+
+// flush squashes everything younger than sp and redirects fetch.
+func (m *Machine) flush(sp *specPoint) {
+	m.stats.WrongPathIssued += m.stats.Issued - sp.issuedSnapshot
+	m.stats.SquashedFetched += int64(len(m.fb))
+	m.fb = m.fb[:0]
+	m.inflight = m.inflight[:0] // all remaining are younger
+
+	// Squash buffered stores younger than the speculation point.
+	keep := m.sb[:0]
+	for _, e := range m.sb {
+		if e.seq < sp.fe.seq {
+			keep = append(keep, e)
+		}
+	}
+	m.sb = keep
+
+	m.st.Regs = sp.regs
+	m.st.Poison = sp.poison
+	m.st.Halted = sp.halted
+	m.regReady = sp.regReady
+
+	if m.haltSeq > sp.fe.seq {
+		m.haltSeq = -1
+	}
+	if m.pendFaultSeq > sp.fe.seq {
+		m.pendFaultSeq, m.pendFaultErr = -1, nil
+	}
+
+	m.ras.Restore(sp.fe.rasCkpt)
+	m.DBB.RestoreTail(sp.fe.dbbTailCkpt)
+	m.dbbOcc = sp.fe.dbbOccCkpt
+
+	m.fetchPC = sp.redirectPC
+	m.fetchHalted = false
+	m.fetchStall = 0
+	m.lastFetchLine = math.MaxUint64
+	m.underMispred = true
+	m.stats.Flushes++
+}
+
+// commitFaultCheck surfaces a deferred fault once its instruction is no
+// longer covered by any older speculation point (i.e. it committed).
+func (m *Machine) commitFaultCheck() error {
+	if m.pendFaultSeq < 0 {
+		return nil
+	}
+	if len(m.inflight) == 0 || m.inflight[0].fe.seq > m.pendFaultSeq {
+		return fmt.Errorf("pipeline: architectural fault at seq %d: %w", m.pendFaultSeq, m.pendFaultErr)
+	}
+	return nil
+}
+
+// ---- store buffer ----
+
+func (m *Machine) frontier() int64 {
+	if len(m.inflight) > 0 {
+		return m.inflight[0].fe.seq
+	}
+	return math.MaxInt64
+}
+
+func (m *Machine) drainStores() {
+	f := m.frontier()
+	i := 0
+	for i < len(m.sb) && m.sb[i].seq < f {
+		m.mem.MustStore(m.sb[i].addr, m.sb[i].val)
+		i++
+	}
+	m.sb = m.sb[i:]
+}
+
+func (m *Machine) drainAll() {
+	for _, e := range m.sb {
+		m.mem.MustStore(e.addr, e.val)
+	}
+	m.sb = m.sb[:0]
+}
+
+// ---- issue ----
+
+func (m *Machine) opReady(r isa.Reg) bool {
+	return r == isa.NoReg || m.regReady[r] <= m.now
+}
+
+func (m *Machine) fuLimit(fu isa.FU) int {
+	switch fu {
+	case isa.FUInt:
+		return m.cfg.IntUnits
+	case isa.FUMem:
+		return m.cfg.MemUnits
+	default:
+		return m.cfg.FPUnits
+	}
+}
+
+func (m *Machine) issue() {
+	issued := 0
+	var fuUsed [isa.NumFUClasses]int
+	for len(m.fb) > 0 && issued < m.cfg.Width {
+		fe := &m.fb[0]
+		if fe.readyAt > m.now {
+			if issued == 0 {
+				m.stats.EmptyFetchCycles++
+			}
+			return
+		}
+		a, b, c := fe.ins.Uses()
+		if !m.opReady(a) || !m.opReady(b) || !m.opReady(c) {
+			if issued == 0 {
+				m.stats.OperandStallCycles++
+				// Attribute the head-of-line stall to the conditional
+				// control point it is delaying: the first BR/RESOLVE in
+				// the blocked window (the stalled instruction is usually
+				// its condition slice).
+				for k := 0; k < len(m.fb) && k < 6; k++ {
+					op := m.fb[k].ins.Op
+					if op == isa.RESOLVE {
+						m.stats.ResolveStallCycles++
+						m.stats.branch(m.fb[k].ins.BranchID).StallCycles++
+						break
+					}
+					if op == isa.BR {
+						m.stats.BranchStallCycles++
+						m.stats.branch(m.fb[k].ins.BranchID).StallCycles++
+						break
+					}
+				}
+			}
+			return
+		}
+		fu := fe.ins.Op.Unit()
+		if fuUsed[fu] >= m.fuLimit(fu) {
+			if issued == 0 {
+				m.stats.FUStallCycles++
+			}
+			return
+		}
+		entry := *fe
+		m.fb = m.fb[1:]
+		fuUsed[fu]++
+		issued++
+		m.issueOne(entry)
+		if entry.ins.Op == isa.HALT {
+			return
+		}
+	}
+	if issued == 0 && len(m.fb) == 0 {
+		m.stats.EmptyFetchCycles++
+	}
+}
+
+func (m *Machine) issueOne(fe fetchEntry) {
+	m.stats.Issued++
+	if m.Trace != nil {
+		m.Trace("[%d] issue seq=%d pc=%d %v", m.now, fe.seq, fe.pc, fe.ins)
+	}
+
+	var sp *specPoint
+	if op := fe.ins.Op; op == isa.BR || op == isa.RESOLVE || op == isa.RET {
+		sp = &specPoint{
+			fe:       fe,
+			regs:     m.st.Regs,
+			poison:   m.st.Poison,
+			regReady: m.regReady,
+			halted:   m.st.Halted,
+		}
+	}
+
+	m.st.PC = fe.pc
+	m.curSeq = fe.seq
+	res, err := exec.Step(m.st, fe.ins, false)
+	if err != nil && m.pendFaultSeq < 0 {
+		// Defer: real only if this instruction commits.
+		m.pendFaultSeq, m.pendFaultErr = fe.seq, err
+	}
+
+	completion := m.now + int64(fe.ins.Op.Latency())
+	if res.IsMem && err == nil {
+		switch {
+		case fe.ins.IsLoad():
+			if m.sbForwarded(res.MemAddr) {
+				completion = m.now + int64(m.cfg.Hier.L1D.Latency)
+			} else {
+				completion = m.Hier.Data(m.now, res.MemAddr)
+			}
+		case fe.ins.IsStore():
+			m.Hier.Data(m.now, res.MemAddr) // address/tag access; nothing waits
+		}
+	}
+	if d := fe.ins.Def(); d != isa.NoReg {
+		m.regReady[d] = completion
+	}
+
+	if sp != nil {
+		sp.resolveAt = m.now + 1
+		switch fe.ins.Op {
+		case isa.BR:
+			sp.actualTaken = res.CondVal
+			sp.mispredict = err == nil && res.CondVal != fe.predTaken
+			sp.redirectPC = res.NextPC
+		case isa.RESOLVE:
+			sp.actualTaken = res.CondVal
+			sp.mispredict = err == nil && res.Taken
+			sp.redirectPC = res.NextPC
+		case isa.RET:
+			sp.mispredict = err == nil && res.NextPC != fe.predTarget
+			sp.redirectPC = res.NextPC
+		}
+		sp.issuedSnapshot = m.stats.Issued
+		m.inflight = append(m.inflight, sp)
+	}
+
+	if fe.ins.Op == isa.HALT {
+		m.haltSeq = fe.seq
+	}
+}
+
+// sbForwarded reports whether a load to addr would have been satisfied by
+// the store buffer (used for timing only; the value came via sbView).
+func (m *Machine) sbForwarded(addr uint64) bool {
+	for i := len(m.sb) - 1; i >= 0; i-- {
+		if m.sb[i].addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- fetch ----
+
+func (m *Machine) fetch() {
+	if m.fetchHalted {
+		return
+	}
+	if m.fetchStall > 0 {
+		m.fetchStall--
+		return
+	}
+	fetched := 0
+	for fetched < m.cfg.Width && len(m.fb) < m.cfg.FetchBufEntries {
+		if m.fetchPC < 0 || m.fetchPC >= len(m.im.Instrs) {
+			// Wrong-path fetch ran off the image; wait for the flush.
+			m.fetchHalted = true
+			return
+		}
+		addr := m.im.PCAddr(m.fetchPC)
+		if line := addr &^ 63; line != m.lastFetchLine {
+			extra := m.Hier.Inst(addr)
+			m.lastFetchLine = line
+			if extra > 0 {
+				m.stats.ICacheMisses++
+				if m.underMispred {
+					m.stats.ICacheMissUnderMispred++
+				}
+				m.underMispred = false
+				m.fetchStall = extra
+				return
+			}
+			m.underMispred = false
+		}
+
+		ins := m.im.Instrs[m.fetchPC]
+		fe := fetchEntry{
+			seq:     m.seq,
+			pc:      m.fetchPC,
+			ins:     ins,
+			readyAt: m.now + int64(m.cfg.FrontEndDepth) - 1,
+		}
+		m.seq++
+		fetched++
+		m.stats.Fetched++
+
+		switch ins.Op {
+		case isa.JMP:
+			m.fb = append(m.fb, fe)
+			m.fetchPC = ins.Target
+			return // taken redirect ends the fetch group
+		case isa.CALL:
+			m.ras.Push(m.fetchPC + 1)
+			m.fb = append(m.fb, fe)
+			m.fetchPC = ins.Target
+			return
+		case isa.RET:
+			fe.rasCkpt = m.ras.Checkpoint()
+			tgt, ok := m.ras.Pop()
+			if !ok {
+				tgt = m.fetchPC + 1 // underflow: sequential guess
+			}
+			fe.predTarget = tgt
+			fe.histCkpt = m.pred.Checkpoint()
+			fe.dbbTailCkpt = m.DBB.Tail()
+			m.fb = append(m.fb, fe)
+			m.fetchPC = tgt
+			return
+		case isa.BR:
+			fe.histCkpt = m.pred.Checkpoint()
+			fe.rasCkpt = m.ras.Checkpoint()
+			fe.dbbTailCkpt = m.DBB.Tail()
+			fe.dbbOccCkpt = m.dbbOcc
+			taken, meta := m.pred.Predict(addr)
+			m.pred.PushHistory(taken)
+			m.btb.Lookup(addr)
+			fe.predTaken, fe.meta = taken, meta
+			m.fb = append(m.fb, fe)
+			if taken {
+				m.fetchPC = ins.Target
+				return
+			}
+			m.fetchPC++
+		case isa.PREDICT:
+			// Consumed by the front end: steer fetch, fill the DBB, drop.
+			ckpt := m.pred.Checkpoint()
+			taken, meta := m.pred.Predict(addr)
+			m.pred.PushHistory(taken)
+			m.DBB.Insert(addr, taken, meta, ckpt)
+			m.stats.Predicts++
+			m.dbbOcc++
+			if m.dbbOcc > m.stats.MaxDBBOccupancy {
+				m.stats.MaxDBBOccupancy = m.dbbOcc
+			}
+			if taken {
+				m.fetchPC = ins.Target
+				return
+			}
+			m.fetchPC++
+		case isa.RESOLVE:
+			// Statically predicted not-taken; carries the DBB tail index.
+			fe.dbbIdx = m.DBB.Tail()
+			fe.dbbTailCkpt = m.DBB.Tail()
+			fe.dbbOccCkpt = m.dbbOcc
+			fe.histCkpt = m.pred.Checkpoint()
+			fe.rasCkpt = m.ras.Checkpoint()
+			if m.dbbOcc > 0 {
+				m.dbbOcc--
+			}
+			m.fb = append(m.fb, fe)
+			m.fetchPC++
+		case isa.HALT:
+			m.fb = append(m.fb, fe)
+			m.fetchHalted = true
+			return
+		default:
+			m.fb = append(m.fb, fe)
+			m.fetchPC++
+		}
+	}
+}

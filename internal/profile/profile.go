@@ -1,0 +1,146 @@
+// Package profile implements the profile-guided branch selection data the
+// paper's compiler relies on: per-branch execution counts, bias (dominant
+// direction frequency), and predictability (accuracy achieved by a
+// training run of the machine's branch predictor), collected from a
+// functional TRAIN-input run — the analogue of the paper running the
+// TRAIN sets to completion in PTLSim.
+package profile
+
+import (
+	"sort"
+
+	"vanguard/internal/bpred"
+	"vanguard/internal/exec"
+	"vanguard/internal/interp"
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+)
+
+// Branch aggregates one static conditional branch, keyed by its BranchID.
+type Branch struct {
+	ID      int
+	PC      int // image PC of (one site of) the branch
+	Forward bool
+	Execs   int64
+	Taken   int64
+	Correct int64 // training-predictor hits
+}
+
+// Bias returns the frequency of the dominant direction in [0.5, 1].
+func (b *Branch) Bias() float64 {
+	if b.Execs == 0 {
+		return 0
+	}
+	t := float64(b.Taken) / float64(b.Execs)
+	if t < 0.5 {
+		return 1 - t
+	}
+	return t
+}
+
+// TakenRate returns the taken frequency.
+func (b *Branch) TakenRate() float64 {
+	if b.Execs == 0 {
+		return 0
+	}
+	return float64(b.Taken) / float64(b.Execs)
+}
+
+// Predictability returns the training predictor's accuracy on the branch.
+func (b *Branch) Predictability() float64 {
+	if b.Execs == 0 {
+		return 0
+	}
+	return float64(b.Correct) / float64(b.Execs)
+}
+
+// Profile is the result of a profiling run.
+type Profile struct {
+	ByID map[int]*Branch
+	// DynInstrs is the dynamic instruction count of the profiled run.
+	DynInstrs int64
+}
+
+// Collect runs the image functionally over m (mutated), feeding every
+// conditional branch through pred to measure predictability. Branches
+// without a BranchID (ID 0) are ignored — the generators assign unique IDs
+// to every interesting branch.
+func Collect(im *ir.Image, m *mem.Memory, pred bpred.DirPredictor, maxInstrs int64) (*Profile, error) {
+	p := &Profile{ByID: make(map[int]*Branch)}
+	opt := interp.Options{
+		MaxInstrs: maxInstrs,
+		OnBranch: func(pc int, ins isa.Instr, res exec.Result) {
+			if ins.Op != isa.BR || ins.BranchID == 0 {
+				return
+			}
+			b := p.ByID[ins.BranchID]
+			if b == nil {
+				b = &Branch{ID: ins.BranchID, PC: pc, Forward: ins.Target > pc}
+				p.ByID[ins.BranchID] = b
+			}
+			b.Execs++
+			if res.Taken {
+				b.Taken++
+			}
+			predTaken, meta := pred.Predict(im.PCAddr(pc))
+			if predTaken == res.Taken {
+				b.Correct++
+			}
+			pred.PushHistory(res.Taken)
+			pred.Update(im.PCAddr(pc), res.Taken, meta)
+		},
+	}
+	_, stats, err := interp.Run(im, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	p.DynInstrs = stats.Instrs
+	return p, nil
+}
+
+// CollectDefault profiles with a fresh Table 1 predictor.
+func CollectDefault(im *ir.Image, m *mem.Memory, maxInstrs int64) (*Profile, error) {
+	return Collect(im, m, bpred.NewDefault(), maxInstrs)
+}
+
+// TopForward returns the n most-executed forward branches, descending by
+// execution count.
+func (p *Profile) TopForward(n int) []*Branch {
+	var out []*Branch
+	for _, b := range p.ByID {
+		if b.Forward {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Execs != out[j].Execs {
+			return out[i].Execs > out[j].Execs
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// BiasPredictabilityCurve returns the Figure 2/3 series: the top-n
+// most-executed forward branches sorted by descending bias, as parallel
+// (bias, predictability) slices. Shorter-than-n profiles return what they
+// have; the harness averages rank-wise across benchmarks.
+func (p *Profile) BiasPredictabilityCurve(n int) (bias, pred []float64) {
+	top := p.TopForward(n)
+	sort.Slice(top, func(i, j int) bool {
+		bi, bj := top[i].Bias(), top[j].Bias()
+		if bi != bj {
+			return bi > bj
+		}
+		return top[i].ID < top[j].ID
+	})
+	for _, b := range top {
+		bias = append(bias, b.Bias())
+		pred = append(pred, b.Predictability())
+	}
+	return bias, pred
+}

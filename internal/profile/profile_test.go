@@ -1,0 +1,147 @@
+package profile
+
+import (
+	"testing"
+
+	"vanguard/internal/bpred"
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+)
+
+// twoBranchLoop builds a loop with one forward branch driven by a scripted
+// memory pattern and the backward latch.
+func twoBranchLoop(n int64) (*ir.Program, *mem.Memory) {
+	const scriptBase = uint64(1 << 20)
+	f := &ir.Func{Name: "main"}
+	init := f.AddBlock("init")
+	head := f.AddBlock("head")
+	b := f.AddBlock("b")
+	c := f.AddBlock("c")
+	latch := f.AddBlock("latch")
+	done := f.AddBlock("done")
+	f.Emit(init, ir.Li(isa.R(1), 0), ir.Li(isa.R(2), n), ir.Li(isa.R(3), int64(scriptBase)))
+	f.Emit(head,
+		ir.Muli(isa.R(4), isa.R(1), 8),
+		ir.Add(isa.R(4), isa.R(4), isa.R(3)),
+		ir.Ld(isa.R(5), isa.R(4), 0),
+		ir.BrID(isa.R(5), c, 10),
+	)
+	f.Emit(b, ir.Addi(isa.R(6), isa.R(6), 1), ir.Jmp(latch))
+	f.Emit(c, ir.Addi(isa.R(7), isa.R(7), 1))
+	f.Emit(latch,
+		ir.Addi(isa.R(1), isa.R(1), 1),
+		ir.Cmp(isa.CMPLT, isa.R(8), isa.R(1), isa.R(2)),
+		ir.BrID(isa.R(8), head, 11),
+	)
+	f.Emit(done, ir.Halt())
+
+	m := mem.New()
+	// Period-4 pattern TTTN: 75% taken, highly predictable.
+	for i := int64(0); i < n; i++ {
+		v := int64(1)
+		if i%4 == 3 {
+			v = 0
+		}
+		m.MustStore(scriptBase+uint64(i)*8, v)
+	}
+	return &ir.Program{Funcs: []*ir.Func{f}}, m
+}
+
+func TestCollectCountsAndDirections(t *testing.T) {
+	p, m := twoBranchLoop(400)
+	prof, err := CollectDefault(ir.MustLinearize(p), m, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := prof.ByID[10]
+	if fwd == nil {
+		t.Fatal("forward branch not profiled")
+	}
+	if fwd.Execs != 400 || fwd.Taken != 300 {
+		t.Errorf("forward branch: execs=%d taken=%d, want 400/300", fwd.Execs, fwd.Taken)
+	}
+	if !fwd.Forward {
+		t.Error("branch 10 must classify as forward")
+	}
+	if got := fwd.TakenRate(); got != 0.75 {
+		t.Errorf("taken rate %f, want 0.75", got)
+	}
+	if got := fwd.Bias(); got != 0.75 {
+		t.Errorf("bias %f, want 0.75", got)
+	}
+	if p := fwd.Predictability(); p < 0.9 {
+		t.Errorf("TTTN pattern should be highly predictable, got %f", p)
+	}
+	latch := prof.ByID[11]
+	if latch == nil || latch.Forward {
+		t.Error("latch must be profiled and classified backward")
+	}
+	if latch.Bias() < 0.95 {
+		t.Errorf("latch bias %f, want ~1", latch.Bias())
+	}
+	if prof.DynInstrs == 0 {
+		t.Error("dynamic instruction count missing")
+	}
+}
+
+func TestBiasDominantDirection(t *testing.T) {
+	b := &Branch{Execs: 100, Taken: 20}
+	if got := b.Bias(); got != 0.8 {
+		t.Errorf("bias of 20%%-taken branch = %f, want 0.8 (dominant direction)", got)
+	}
+	var empty Branch
+	if empty.Bias() != 0 || empty.Predictability() != 0 || empty.TakenRate() != 0 {
+		t.Error("zero-exec branch metrics must be 0")
+	}
+}
+
+func TestTopForwardOrdering(t *testing.T) {
+	p := &Profile{ByID: map[int]*Branch{
+		1: {ID: 1, Forward: true, Execs: 10},
+		2: {ID: 2, Forward: true, Execs: 30},
+		3: {ID: 3, Forward: false, Execs: 99},
+		4: {ID: 4, Forward: true, Execs: 20},
+	}}
+	top := p.TopForward(2)
+	if len(top) != 2 || top[0].ID != 2 || top[1].ID != 4 {
+		t.Errorf("TopForward wrong: %+v", top)
+	}
+	all := p.TopForward(10)
+	if len(all) != 3 {
+		t.Errorf("backward branches must be excluded: %d", len(all))
+	}
+}
+
+func TestBiasPredictabilityCurveSorted(t *testing.T) {
+	p := &Profile{ByID: map[int]*Branch{
+		1: {ID: 1, Forward: true, Execs: 100, Taken: 50, Correct: 90},
+		2: {ID: 2, Forward: true, Execs: 100, Taken: 95, Correct: 97},
+		3: {ID: 3, Forward: true, Execs: 100, Taken: 70, Correct: 85},
+	}}
+	bias, pred := p.BiasPredictabilityCurve(75)
+	if len(bias) != 3 || len(pred) != 3 {
+		t.Fatalf("curve lengths %d/%d", len(bias), len(pred))
+	}
+	for i := 1; i < len(bias); i++ {
+		if bias[i] > bias[i-1] {
+			t.Errorf("bias not descending: %v", bias)
+		}
+	}
+	if bias[0] != 0.95 || pred[0] != 0.97 {
+		t.Errorf("head of curve wrong: %v %v", bias, pred)
+	}
+}
+
+func TestCollectWithCustomPredictor(t *testing.T) {
+	p, m := twoBranchLoop(200)
+	prof, err := Collect(ir.MustLinearize(p), m, &bpred.Static{}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static not-taken gets exactly the not-taken fraction right.
+	fwd := prof.ByID[10]
+	if fwd.Predictability() != 0.25 {
+		t.Errorf("static-NT predictability %f, want 0.25", fwd.Predictability())
+	}
+}

@@ -1,0 +1,172 @@
+// Package sched implements the block-local, latency-weighted list
+// scheduler applied to BOTH the baseline and the transformed programs, so
+// that speedups measured for the decomposed branch transformation come
+// from the transformation itself and not from scheduling disparity.
+//
+// For an in-order machine the instruction order within a block IS the
+// issue order, so the scheduler's job is to order independent work (long
+// latency loads first) ahead of its consumers while respecting data and
+// memory dependences. Memory disambiguation is offset-based: accesses
+// through the same base register with different offsets are independent;
+// anything else is conservatively ordered (the paper's DBT substrate has
+// data-speculation hardware; we only rely on it where provably safe).
+package sched
+
+import (
+	"sort"
+
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+)
+
+// Model describes the machine the scheduler targets.
+type Model struct {
+	Width       int
+	IntUnits    int
+	MemUnits    int
+	FPUnits     int
+	LoadLatency int // expected load-to-use latency (L1 hit)
+}
+
+// DefaultModel returns the Table 1 machine model at the given width.
+func DefaultModel(width int) Model {
+	return Model{Width: width, IntUnits: 2, MemUnits: 2, FPUnits: 4, LoadLatency: 4}
+}
+
+// Program schedules every block of every function in place.
+func Program(p *ir.Program, m Model) {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			Block(b, m)
+		}
+	}
+}
+
+// latency returns the scheduling latency of an instruction.
+func (m Model) latency(ins isa.Instr) int {
+	if ins.IsLoad() {
+		return m.LoadLatency
+	}
+	return ins.Op.Latency()
+}
+
+// mustOrder reports whether j (later) must stay after i (earlier).
+func mustOrder(i, j isa.Instr) bool {
+	di, dj := i.Def(), j.Def()
+	iu1, iu2, iu3 := i.Uses()
+	ju1, ju2, ju3 := j.Uses()
+	if di != isa.NoReg && (ju1 == di || ju2 == di || ju3 == di || dj == di) {
+		return true // RAW or WAW
+	}
+	if dj != isa.NoReg && (dj == iu1 || dj == iu2 || dj == iu3) {
+		return true // WAR
+	}
+	// Memory ordering.
+	if i.IsMem() && j.IsMem() && (i.IsStore() || j.IsStore()) {
+		if i.Src1 == j.Src1 && i.Imm != j.Imm {
+			return false // same base, provably disjoint words
+		}
+		return true
+	}
+	return false
+}
+
+// Block reorders one block in place. Terminators and any control
+// instruction (e.g. a mid-block CALL) act as scheduling barriers.
+func Block(b *ir.Block, m Model) {
+	// Split into barrier-delimited regions; schedule each independently.
+	out := make([]isa.Instr, 0, len(b.Instrs))
+	start := 0
+	for i, ins := range b.Instrs {
+		if ins.IsControl() {
+			out = append(out, region(b.Instrs[start:i], m)...)
+			out = append(out, ins)
+			start = i + 1
+		}
+	}
+	out = append(out, region(b.Instrs[start:], m)...)
+	b.Instrs = out
+}
+
+// region list-schedules a straight-line run of instructions.
+func region(ins []isa.Instr, m Model) []isa.Instr {
+	n := len(ins)
+	if n <= 1 {
+		return append([]isa.Instr(nil), ins...)
+	}
+	// Dependence edges and critical-path priorities.
+	succs := make([][]int, n)
+	npreds := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if mustOrder(ins[i], ins[j]) {
+				succs[i] = append(succs[i], j)
+				npreds[j]++
+			}
+		}
+	}
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		p := 0
+		for _, s := range succs[i] {
+			if prio[s] > p {
+				p = prio[s]
+			}
+		}
+		prio[i] = p + m.latency(ins[i])
+	}
+
+	// Greedy machine-model walk.
+	readyAt := make([]int, n) // earliest cycle each instruction may start
+	done := make([]bool, n)
+	var order []int
+	cycle := 0
+	for len(order) < n {
+		var ready []int
+		for i := 0; i < n; i++ {
+			if !done[i] && npreds[i] == 0 && readyAt[i] <= cycle {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(x, y int) bool {
+			if prio[ready[x]] != prio[ready[y]] {
+				return prio[ready[x]] > prio[ready[y]]
+			}
+			return ready[x] < ready[y] // stable: original order
+		})
+		var used [isa.NumFUClasses]int
+		issued := 0
+		for _, i := range ready {
+			if issued >= m.Width {
+				break
+			}
+			fu := ins[i].Op.Unit()
+			limit := m.IntUnits
+			switch fu {
+			case isa.FUMem:
+				limit = m.MemUnits
+			case isa.FUFP:
+				limit = m.FPUnits
+			}
+			if used[fu] >= limit {
+				continue
+			}
+			used[fu]++
+			issued++
+			done[i] = true
+			order = append(order, i)
+			for _, s := range succs[i] {
+				npreds[s]--
+				if t := cycle + m.latency(ins[i]); t > readyAt[s] {
+					readyAt[s] = t
+				}
+			}
+		}
+		cycle++
+	}
+	out := make([]isa.Instr, n)
+	for k, i := range order {
+		out[k] = ins[i]
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package textplot renders small ASCII charts for the CLI tools: labelled
+// horizontal bar charts for the speedup figures and two-series line plots
+// for the predictability-vs-bias curves. Pure text, no dependencies — the
+// evaluation figures stay readable in a terminal or a commit message.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Bars renders a horizontal bar chart scaled to width columns. Negative
+// values render to the left of the axis.
+func Bars(w io.Writer, title string, bars []Bar, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintln(w, title)
+	if len(bars) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	maxAbs := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if a := math.Abs(b.Value); a > maxAbs {
+			maxAbs = a
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	for _, b := range bars {
+		n := int(math.Abs(b.Value)/maxAbs*float64(width) + 0.5)
+		bar := strings.Repeat("#", n)
+		if b.Value < 0 {
+			fmt.Fprintf(w, "  %-*s %8.2f -|%s\n", labelW, b.Label, b.Value, bar)
+		} else {
+			fmt.Fprintf(w, "  %-*s %8.2f  |%s\n", labelW, b.Label, b.Value, bar)
+		}
+	}
+}
+
+// Series renders one or two y-series over a shared x axis as a height×width
+// character grid — enough to see the Figure 2/3 shape (predictability
+// staying high while bias falls). The first series plots as '*', the
+// second as 'o'; collisions show '@'.
+func Series(w io.Writer, title string, names [2]string, ys [2][]float64, width, height int) {
+	if width <= 0 {
+		width = 75
+	}
+	if height <= 0 {
+		height = 16
+	}
+	fmt.Fprintln(w, title)
+	n := len(ys[0])
+	if len(ys[1]) > n {
+		n = len(ys[1])
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range ys {
+		for _, v := range s {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(s []float64, mark byte) {
+		for i, v := range s {
+			x := 0
+			if len(s) > 1 {
+				x = i * (width - 1) / (len(s) - 1)
+			}
+			y := int((hi - v) / (hi - lo) * float64(height-1))
+			if grid[y][x] != ' ' && grid[y][x] != mark {
+				grid[y][x] = '@'
+			} else {
+				grid[y][x] = mark
+			}
+		}
+	}
+	plot(ys[0], '*')
+	plot(ys[1], 'o')
+	for r, row := range grid {
+		yval := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "  %6.2f |%s\n", yval, string(row))
+	}
+	fmt.Fprintf(w, "         %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "  *=%s  o=%s  (x: rank 1..%d)\n", names[0], names[1], n)
+}

@@ -1,0 +1,80 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsScalesToWidth(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "speedups", []Bar{
+		{"h264ref", 20},
+		{"mcf", 10},
+		{"dealII", -1},
+	}, 40)
+	out := sb.String()
+	if !strings.Contains(out, "speedups") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[1]) != 40 {
+		t.Errorf("max bar must fill the width: %q", lines[1])
+	}
+	if c := count(lines[2]); c != 20 {
+		t.Errorf("half value must render half the width, got %d", c)
+	}
+	if !strings.Contains(lines[3], "-|") {
+		t.Errorf("negative bar must mark the axis: %q", lines[3])
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "empty", nil, 0)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty chart must say so")
+	}
+	sb.Reset()
+	Bars(&sb, "zeros", []Bar{{"a", 0}}, 10)
+	if strings.Contains(sb.String(), "#") {
+		t.Error("zero bar must be empty")
+	}
+}
+
+func TestSeriesShape(t *testing.T) {
+	bias := []float64{0.95, 0.9, 0.8, 0.7, 0.6, 0.55}
+	pred := []float64{0.96, 0.95, 0.93, 0.92, 0.9, 0.9}
+	var sb strings.Builder
+	Series(&sb, "fig2", [2]string{"bias", "pred"}, [2][]float64{bias, pred}, 30, 8)
+	out := sb.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("both series must be plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "*=bias") || !strings.Contains(out, "o=pred") {
+		t.Error("legend missing")
+	}
+	// The top-left corner region should hold the high starting values and
+	// the bottom rows the low bias tail.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("grid too small:\n%s", out)
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "flat", [2]string{"a", "b"}, [2][]float64{{}, {}}, 10, 4)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty series must say so")
+	}
+	sb.Reset()
+	// Constant series must not divide by zero.
+	Series(&sb, "const", [2]string{"a", "b"}, [2][]float64{{1, 1, 1}, {1, 1}}, 10, 4)
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("constant series must still plot")
+	}
+}

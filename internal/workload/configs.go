@@ -1,0 +1,259 @@
+package workload
+
+// Per-benchmark configurations. The knobs are set from Table 2 of the
+// paper (SPEC 2006) and the Section 5.1/5.2 descriptions (SPEC 2000):
+//
+//   - elig:  sites whose predictability exceeds bias by >= 5% — the
+//     decomposed-branch candidates (sets PBC together with hard+biased);
+//   - hard:  unbiased, unpredictable sites (predication territory; the
+//     MPPKI source — never converted);
+//   - biased: highly-biased, highly-predictable sites (superblock
+//     territory; dilute PBC like real programs);
+//   - loads/alu/fp/stores: successor-block shapes (ALPBB, PHI, PDIH);
+//   - ws: data working set (L1/L2/L3 behaviour);
+//   - filler: non-branch pad in the A blocks (branch density, PDIH);
+//   - storeEarly: an early store blocks load hoisting (lowers PHI).
+
+// intSite builds an integer eligible site.
+func intSite(loads, alu, stores int, pred float64) Site {
+	return Site{
+		Taken: 0.60, Pred: pred, Regime: 80,
+		LoadsB: loads, LoadsC: maxi(loads-1, 1),
+		ALUB: alu, ALUC: alu,
+		StoresB: stores, StoresC: stores,
+		CondMem: 1,
+	}
+}
+
+// condMem overrides the condition-slice memory depth of a site group.
+func condMem(n int, ss []Site) []Site {
+	for i := range ss {
+		ss[i].CondMem = n
+	}
+	return ss
+}
+
+// fpSite builds a floating-point eligible site: bigger blocks, higher
+// predictability, somewhat more bias — the Section 5.2 FP character.
+func fpSite(loads, fp int, pred float64) Site {
+	return Site{
+		Taken: 0.72, Pred: pred, Regime: 150,
+		LoadsB: loads, LoadsC: maxi(loads-1, 1),
+		ALUB: 2, ALUC: 2,
+		FPB: fp, FPC: maxi(fp-1, 1),
+		StoresB: 1, StoresC: 1,
+		CondMem: 1,
+	}
+}
+
+// hardSite is unbiased and unpredictable (i.i.d. coin flips): predication
+// territory in Figure 1 and the benchmarks' MPPKI source. Never converted.
+func hardSite() Site {
+	return Site{Taken: 0.50, Pred: 0.50,
+		LoadsB: 1, LoadsC: 1, ALUB: 2, ALUC: 2, StoresB: 1}
+}
+
+// mediumSite carries a noisy medium-period pattern: largely beyond the
+// gshare-class baseline predictor but within reach of the TAGE ladder —
+// the headroom behind the Section 5.3 sensitivity on astar, sjeng, gobmk
+// and mcf.
+func mediumSite() Site {
+	return Site{Taken: 0.52, Pred: 0.78, Period: 36,
+		LoadsB: 2, LoadsC: 2, ALUB: 2, ALUC: 2, StoresB: 1}
+}
+
+func rep(n int, s Site) []Site {
+	out := make([]Site, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sites(groups ...[]Site) []Site {
+	var out []Site
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func early(ss []Site) []Site {
+	for i := range ss {
+		ss[i].StoreEarly = true
+	}
+	return ss
+}
+
+// Int2006 returns the SPEC CPU2006 integer stand-ins, Table 2 order.
+func Int2006() []Config {
+	return []Config{
+		{Name: "h264ref", Suite: "int2006", WSBytes: 16 << 10, FillerALU: 2, BiasedSites: 3,
+			Sites: sites(rep(5, intSite(5, 3, 1, 0.93)), rep(2, hardSite()))},
+		{Name: "perlbench", Suite: "int2006", WSBytes: 16 << 10, FillerALU: 2, BiasedSites: 4, Replicate: 10,
+			Sites: sites(rep(5, intSite(3, 3, 1, 0.96)), rep(2, hardSite()))},
+		{Name: "astar", Suite: "int2006", WSBytes: 64 << 10, FillerALU: 2, BiasedSites: 3,
+			Sites: sites(rep(4, intSite(4, 3, 1, 0.87)), rep(2, hardSite()), rep(1, mediumSite()))},
+		{Name: "omnetpp", Suite: "int2006", WSBytes: 256 << 10, FillerALU: 3, BiasedSites: 4,
+			Sites: sites(condMem(2, rep(3, intSite(3, 2, 1, 0.92))), rep(3, hardSite()))},
+		{Name: "xalancbmk", Suite: "int2006", WSBytes: 128 << 10, FillerALU: 3, BiasedSites: 4, Replicate: 16,
+			Sites: sites(rep(3, intSite(4, 2, 1, 0.93)), rep(3, hardSite()))},
+		{Name: "sjeng", Suite: "int2006", WSBytes: 16 << 10, FillerALU: 3, BiasedSites: 4,
+			Sites: sites(rep(3, intSite(4, 3, 1, 0.90)), rep(3, hardSite()), rep(1, mediumSite()))},
+		{Name: "gobmk", Suite: "int2006", WSBytes: 32 << 10, FillerALU: 2, BiasedSites: 6, Replicate: 8,
+			Sites: sites(condMem(2, rep(2, intSite(5, 3, 1, 0.91))), rep(4, hardSite()), rep(1, mediumSite()))},
+		{Name: "gcc", Suite: "int2006", WSBytes: 64 << 10, FillerALU: 3, BiasedSites: 4, Replicate: 20,
+			Sites: sites(condMem(2, rep(3, intSite(3, 3, 2, 0.93))), rep(3, hardSite()))},
+		{Name: "mcf", Suite: "int2006", WSBytes: 8 << 20, FillerALU: 2, BiasedSites: 2,
+			Sites: sites(condMem(2, rep(3, intSite(3, 2, 1, 0.85))), rep(3, hardSite()), rep(1, mediumSite()))},
+		{Name: "bzip2", Suite: "int2006", WSBytes: 64 << 10, FillerALU: 4, BiasedSites: 6,
+			Sites: sites(rep(2, intSite(4, 3, 1, 0.91)), rep(3, hardSite()))},
+		{Name: "hmmer", Suite: "int2006", WSBytes: 16 << 10, FillerALU: 6, BiasedSites: 7,
+			Sites: sites(rep(1, intSite(8, 5, 1, 0.97)), rep(1, hardSite()))},
+		{Name: "libquantum", Suite: "int2006", WSBytes: 128 << 10, FillerALU: 8, BiasedSites: 8,
+			Sites: sites(rep(1, intSite(1, 2, 1, 0.97)))},
+	}
+}
+
+// FP2006 returns the SPEC CPU2006 floating-point stand-ins.
+func FP2006() []Config {
+	return []Config{
+		{Name: "wrf", Suite: "fp2006", WSBytes: 16 << 10, FillerALU: 3, BiasedSites: 5,
+			Sites: sites(rep(3, fpSite(4, 4, 0.985)), rep(1, hardSite()))},
+		{Name: "povray", Suite: "fp2006", WSBytes: 16 << 10, FillerALU: 3, BiasedSites: 5,
+			Sites: sites(rep(3, fpSite(3, 4, 0.97)), rep(1, hardSite()))},
+		{Name: "tonto", Suite: "fp2006", WSBytes: 16 << 10, FillerALU: 4, BiasedSites: 5,
+			Sites: sites(rep(2, fpSite(3, 4, 0.97)), rep(1, hardSite()))},
+		{Name: "gamess", Suite: "fp2006", WSBytes: 16 << 10, FillerALU: 4, BiasedSites: 3,
+			Sites: sites(rep(3, fpSite(2, 3, 0.96)), rep(1, hardSite()))},
+		{Name: "calculix", Suite: "fp2006", WSBytes: 32 << 10, FillerALU: 5, BiasedSites: 5,
+			Sites: sites(rep(2, fpSite(3, 3, 0.96)), rep(1, hardSite()))},
+		{Name: "milc", Suite: "fp2006", WSBytes: 256 << 10, FillerALU: 5, BiasedSites: 4,
+			Sites: sites(rep(2, fpSite(4, 4, 0.98)))},
+		{Name: "soplex", Suite: "fp2006", WSBytes: 128 << 10, FillerALU: 5, BiasedSites: 6,
+			Sites: sites(rep(1, fpSite(4, 3, 0.95)), rep(1, hardSite()))},
+		{Name: "namd", Suite: "fp2006", WSBytes: 32 << 10, FillerALU: 6, BiasedSites: 5,
+			Sites: sites(rep(2, fpSite(3, 5, 0.97)))},
+		{Name: "lbm", Suite: "fp2006", WSBytes: 2 << 20, FillerALU: 6, BiasedSites: 4,
+			Sites: sites(rep(2, fpSite(5, 5, 0.98)))},
+		{Name: "gromacs", Suite: "fp2006", WSBytes: 32 << 10, FillerALU: 7, BiasedSites: 5,
+			Sites: sites(rep(1, fpSite(4, 5, 0.97)), rep(1, hardSite()))},
+		{Name: "sphinx3", Suite: "fp2006", WSBytes: 128 << 10, FillerALU: 8, BiasedSites: 6,
+			Sites: sites(rep(1, fpSite(3, 4, 0.97)), rep(1, hardSite()))},
+		{Name: "bwaves", Suite: "fp2006", WSBytes: 2 << 20, FillerALU: 8, BiasedSites: 4,
+			Sites: sites(condMem(0, early(rep(1, fpSite(6, 5, 0.99)))))},
+		{Name: "GemsFDTD", Suite: "fp2006", WSBytes: 2 << 20, FillerALU: 10, BiasedSites: 8,
+			Sites: sites(rep(1, fpSite(3, 4, 0.97)))},
+		{Name: "zeusmp", Suite: "fp2006", WSBytes: 1 << 20, FillerALU: 12, BiasedSites: 5,
+			Sites: sites(rep(1, fpSite(4, 5, 0.98)))},
+		{Name: "dealII", Suite: "fp2006", WSBytes: 512 << 10, FillerALU: 12, BiasedSites: 7,
+			Sites: sites(condMem(0, early(rep(1, fpSite(4, 3, 0.99)))))},
+		{Name: "cactusADM", Suite: "fp2006", WSBytes: 1 << 20, FillerALU: 16, BiasedSites: 8,
+			Sites: sites(rep(1, fpSite(2, 5, 0.985)))},
+		{Name: "leslie3d", Suite: "fp2006", WSBytes: 2 << 20, FillerALU: 16, BiasedSites: 9,
+			Sites: sites(rep(1, fpSite(2, 4, 0.985)))},
+	}
+}
+
+// Int2000 returns the SPEC CPU2000 integer stand-ins. The suite is more
+// predictable and better behaved in the caches than 2006 (Section 5.1).
+func Int2000() []Config {
+	return []Config{
+		{Name: "vortex", Suite: "int2000", WSBytes: 16 << 10, FillerALU: 2, BiasedSites: 3,
+			Sites: sites(rep(5, intSite(5, 3, 1, 0.97)), rep(1, hardSite()))},
+		{Name: "crafty", Suite: "int2000", WSBytes: 16 << 10, FillerALU: 2, BiasedSites: 3,
+			Sites: sites(rep(4, intSite(4, 3, 1, 0.95)), rep(2, hardSite()))},
+		{Name: "eon", Suite: "int2000", WSBytes: 16 << 10, FillerALU: 2, BiasedSites: 3,
+			Sites: sites(rep(4, intSite(4, 3, 1, 0.96)), rep(1, hardSite()))},
+		{Name: "gap", Suite: "int2000", WSBytes: 16 << 10, FillerALU: 2, BiasedSites: 3,
+			Sites: sites(rep(4, intSite(4, 2, 1, 0.95)), rep(2, hardSite()))},
+		{Name: "parser", Suite: "int2000", WSBytes: 32 << 10, FillerALU: 3, BiasedSites: 4,
+			Sites: sites(rep(4, intSite(3, 3, 1, 0.94)), rep(2, hardSite()))},
+		{Name: "perlbmk", Suite: "int2000", WSBytes: 16 << 10, FillerALU: 3, BiasedSites: 4,
+			Sites: sites(rep(3, intSite(3, 3, 1, 0.96)), rep(2, hardSite()))},
+		{Name: "gcc", Suite: "int2000", WSBytes: 32 << 10, FillerALU: 3, BiasedSites: 4,
+			Sites: sites(rep(3, intSite(3, 3, 1, 0.95)), rep(2, hardSite()))},
+		{Name: "mcf", Suite: "int2000", WSBytes: 1 << 20, FillerALU: 2, BiasedSites: 2,
+			Sites: sites(rep(3, intSite(3, 2, 1, 0.93)), rep(3, hardSite()))},
+		{Name: "bzip2", Suite: "int2000", WSBytes: 64 << 10, FillerALU: 4, BiasedSites: 6,
+			Sites: sites(rep(2, intSite(3, 3, 1, 0.93)), rep(2, hardSite()))},
+		{Name: "gzip", Suite: "int2000", WSBytes: 256 << 10, FillerALU: 4, BiasedSites: 4,
+			Sites: sites(rep(3, intSite(3, 3, 1, 0.93)), rep(2, hardSite()))},
+		{Name: "twolf", Suite: "int2000", WSBytes: 128 << 10, FillerALU: 5, BiasedSites: 6,
+			Sites: sites(rep(1, intSite(3, 3, 1, 0.90)), rep(3, hardSite()))},
+		{Name: "vpr", Suite: "int2000", WSBytes: 128 << 10, FillerALU: 5, BiasedSites: 6,
+			Sites: sites(rep(1, intSite(3, 3, 1, 0.90)), rep(3, hardSite()))},
+	}
+}
+
+// FP2000 returns the SPEC CPU2000 floating-point stand-ins; fewer eligible
+// forward branches than 2006 (Section 5.2).
+func FP2000() []Config {
+	return []Config{
+		{Name: "art", Suite: "fp2000", WSBytes: 32 << 10, FillerALU: 4, BiasedSites: 6,
+			Sites: sites(rep(2, fpSite(4, 4, 0.985)))},
+		{Name: "ammp", Suite: "fp2000", WSBytes: 32 << 10, FillerALU: 4, BiasedSites: 6,
+			Sites: sites(rep(2, fpSite(3, 4, 0.98)))},
+		{Name: "mesa", Suite: "fp2000", WSBytes: 16 << 10, FillerALU: 4, BiasedSites: 6,
+			Sites: sites(rep(2, fpSite(3, 3, 0.975)))},
+		{Name: "wupwise", Suite: "fp2000", WSBytes: 32 << 10, FillerALU: 6, BiasedSites: 6,
+			Sites: sites(rep(1, fpSite(3, 4, 0.98)))},
+		{Name: "facerec", Suite: "fp2000", WSBytes: 64 << 10, FillerALU: 6, BiasedSites: 6,
+			Sites: sites(rep(1, fpSite(3, 4, 0.975)))},
+		{Name: "galgel", Suite: "fp2000", WSBytes: 64 << 10, FillerALU: 8, BiasedSites: 8,
+			Sites: sites(rep(1, fpSite(2, 4, 0.975)))},
+		{Name: "equake", Suite: "fp2000", WSBytes: 256 << 10, FillerALU: 8, BiasedSites: 8,
+			Sites: sites(rep(1, fpSite(2, 3, 0.97)))},
+		{Name: "apsi", Suite: "fp2000", WSBytes: 128 << 10, FillerALU: 10, BiasedSites: 8,
+			Sites: sites(early(rep(1, fpSite(2, 4, 0.975))))},
+		{Name: "mgrid", Suite: "fp2000", WSBytes: 1 << 20, FillerALU: 12, BiasedSites: 8,
+			Sites: sites(early(rep(1, fpSite(2, 4, 0.98))))},
+		{Name: "applu", Suite: "fp2000", WSBytes: 1 << 20, FillerALU: 12, BiasedSites: 8,
+			Sites: sites(early(rep(1, fpSite(2, 4, 0.98))))},
+		{Name: "swim", Suite: "fp2000", WSBytes: 2 << 20, FillerALU: 14, BiasedSites: 8,
+			Sites: sites(early(rep(1, fpSite(2, 3, 0.985))))},
+		{Name: "lucas", Suite: "fp2000", WSBytes: 1 << 20, FillerALU: 14, BiasedSites: 8,
+			Sites: sites(early(rep(1, fpSite(2, 3, 0.98))))},
+		{Name: "fma3d", Suite: "fp2000", WSBytes: 512 << 10, FillerALU: 14, BiasedSites: 9,
+			Sites: sites(early(rep(1, fpSite(2, 3, 0.975))))},
+		{Name: "sixtrack", Suite: "fp2000", WSBytes: 512 << 10, FillerALU: 16, BiasedSites: 9,
+			Sites: sites(early(rep(1, fpSite(1, 3, 0.975))))},
+	}
+}
+
+// Suite returns the configs of a named suite.
+func Suite(name string) []Config {
+	switch name {
+	case "int2006":
+		return Int2006()
+	case "fp2006":
+		return FP2006()
+	case "int2000":
+		return Int2000()
+	case "fp2000":
+		return FP2000()
+	}
+	return nil
+}
+
+// AllSuites lists the suite names in evaluation order.
+func AllSuites() []string { return []string{"int2006", "fp2006", "int2000", "fp2000"} }
+
+// ByName finds a config across all suites.
+func ByName(name string) (Config, bool) {
+	for _, s := range AllSuites() {
+		for _, c := range Suite(s) {
+			if c.Name == name {
+				return c, true
+			}
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,510 @@
+// Package workload generates the synthetic SPEC-stand-in benchmarks the
+// evaluation runs on. Each benchmark configuration controls exactly the
+// properties Section 5.1 of the paper identifies as the speedup drivers:
+//
+//   - the number of forward branches whose predictability exceeds their
+//     bias (PBC), via per-site (taken-rate, predictability) targets
+//     realized as scripted outcome streams: a fixed periodic pattern
+//     (learnable by history predictors) XOR-ed with seed-stable noise at
+//     rate 1-predictability;
+//   - the independent work, especially loads, in the successor blocks
+//     (ALPBB, PHI, PDIH), via per-site block shapes;
+//   - the tendency to stall at branch resolution (ASPCB), via dependent
+//     condition slices (the condition itself comes from a load);
+//   - the D-cache behaviour, via a power-of-two working-set size the
+//     strided block loads wrap around in.
+//
+// TRAIN and REF inputs are different seeds and iteration counts over the
+// same static program, like SPEC's input sets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vanguard/internal/ir"
+	"vanguard/internal/isa"
+	"vanguard/internal/mem"
+)
+
+// Memory layout.
+const (
+	ScriptBase uint64 = 1 << 21
+	DataBase   uint64 = 1 << 23
+	OutBase    uint64 = 1 << 27
+
+	// ScriptLen is the per-site outcome stream length (power of two). It
+	// exceeds any run's iteration count so outcome streams never repeat —
+	// a repeating stream would let table predictors memorize even pure
+	// noise through recurring history contexts.
+	ScriptLen = 8192
+)
+
+// Site describes one hot forward-branch site inside the main loop.
+type Site struct {
+	Taken  float64 // target taken rate (bias direction/strength)
+	Pred   float64 // target predictability
+	Period int     // pattern period, for pattern-mode sites
+	// Regime, when positive, selects regime-switching outcome streams
+	// (how real unbiased-but-predictable branches behave): the branch
+	// stays in a mostly-taken or mostly-not-taken phase for ~Regime
+	// executions, with 1-Pred in-regime noise. Counter predictors track
+	// regimes with only a couple of mispredicts per switch, so measured
+	// predictability approaches Pred while bias stays at Taken.
+	Regime int
+
+	LoadsB, LoadsC   int  // data loads in each successor block
+	ALUB, ALUC       int  // integer ops in each successor block
+	FPB, FPC         int  // floating-point ops in each successor block
+	StoresB, StoresC int  // stores in each successor block
+	StoreEarly       bool // store first: blocks load hoisting (low PHI)
+	CondALU          int  // extra ALU ops lengthening the condition slice
+	// CondMem folds this many data-region loads into the condition's
+	// dependence slice (value-neutral, latency-real): the omnetpp pattern
+	// where the branch tests a pointer-chased field. It raises the
+	// resolution stall (ASPCB) the decomposition then overlaps.
+	CondMem int
+}
+
+// Config is one synthetic benchmark.
+type Config struct {
+	Name  string
+	Suite string // "int2006", "fp2006", "int2000", "fp2000"
+	Sites []Site
+	// BiasedSites adds highly-biased, highly-predictable forward branches
+	// (superblock fodder; they dilute PBC like real programs do).
+	BiasedSites int
+	// WSBytes is the data working set (power of two).
+	WSBytes int64
+	// FillerALU pads the A blocks ahead of each site's condition.
+	FillerALU int
+	// ColdInstrs adds rarely-executed static code (reached through a
+	// never-taken guard), which sets the PISCS denominator the way real
+	// programs' cold paths do. 0 selects the default of 600.
+	ColdInstrs int
+	// Replicate unrolls the site group this many times inside the main
+	// loop (default 1), growing the HOT instruction footprint the way
+	// big-code benchmarks (gcc, xalancbmk, perlbench) behave — which is
+	// what makes the Section 6.1 I-cache experiment meaningful. Dynamic
+	// length is held constant by dividing the iteration count.
+	Replicate int
+}
+
+func (c Config) replicate() int {
+	if c.Replicate <= 0 {
+		return 1
+	}
+	return c.Replicate
+}
+
+// iterDivisor trades dynamic length against per-branch training samples
+// for replicated configs: the iteration count shrinks with (a quarter of)
+// the replication factor, so each static branch still sees enough
+// executions to train the predictor while total simulated instructions
+// stay bounded.
+func (c Config) iterDivisor() int64 {
+	d := int64(c.replicate() / 4)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Input selects a dynamic run of a benchmark.
+type Input struct {
+	Seed  int64
+	Iters int64
+}
+
+// TrainInput mirrors SPEC TRAIN; RefInputs mirror the (often multiple)
+// REF data sets.
+func TrainInput() Input { return Input{Seed: 101, Iters: 3000} }
+
+// RefInputs returns the REF runs: different seeds shift per-site noise and
+// phase, which is what makes per-input bias vary like the paper observes.
+func RefInputs() []Input {
+	return []Input{{Seed: 202, Iters: 4000}, {Seed: 303, Iters: 4000}}
+}
+
+// Register roles (fixed by the generator; high registers stay free for the
+// transformation's shadow temporaries).
+var (
+	rCondT = isa.R(24) // condition-slice memory-dependence temporary
+	rZero  = isa.R(0)
+	rIdx   = isa.R(1)
+	rLim   = isa.R(2)
+	rScr   = isa.R(3)
+	rData  = isa.R(4)
+	rOut   = isa.R(5)
+	rAddr  = isa.R(6)
+	rCondV = isa.R(7)
+	rCondB = isa.R(8)
+	rBlk   = isa.R(9)
+)
+
+func rAcc(i int) isa.Reg     { return isa.R(10 + i%6) } // r10..r15
+func rScratch(i int) isa.Reg { return isa.R(16 + i%8) } // r16..r23
+func fAcc(i int) isa.Reg     { return isa.F(0 + i%4) }  // f0..f3
+func fScratch(i int) isa.Reg { return isa.F(4 + i%6) }  // f4..f9
+
+// Generate builds the program and its initialized memory for one input.
+func (c Config) Generate(in Input) (*ir.Program, *mem.Memory) {
+	f := &ir.Func{Name: c.Name}
+	m := mem.New()
+	wsMask := (c.WSBytes - 1) &^ 7
+
+	iters := in.Iters / c.iterDivisor()
+	if iters < 100 {
+		iters = 100
+	}
+	init := f.AddBlock("init")
+	f.Emit(init,
+		ir.Li(rZero, 0),
+		ir.Li(rIdx, 0),
+		ir.Li(rLim, iters),
+		ir.Li(rScr, int64(ScriptBase)),
+		ir.Li(rData, int64(DataBase)),
+		ir.Li(rOut, int64(OutBase)),
+	)
+	for i := 0; i < 6; i++ {
+		f.Emit(init, ir.Li(rAcc(i), int64(i+1)))
+	}
+	for i := 0; i < 4; i++ {
+		f.Emit(init, ir.Li(rScratch(i), int64(3*i+1)))
+	}
+
+	// Cold region: guarded by a never-taken branch out of the entry. It
+	// scales with replication the way real programs' cold paths scale
+	// with their hot code.
+	cold := c.ColdInstrs
+	if cold == 0 {
+		cold = 600
+	}
+	cold *= c.replicate()
+	init2 := -1 // patched below once known
+	coldGuardPC := len(f.Blocks[init].Instrs)
+	f.Emit(init,
+		ir.Cmp(isa.CMPNE, rCondB, rZero, rZero),
+		ir.Br(rCondB, 0), // target patched to the cold block at the end
+	)
+	_ = coldGuardPC
+
+	loopHead := -1
+	nextID := 100
+	rng := rand.New(rand.NewSource(in.Seed * 7919))
+
+	allSites := append([]Site{}, c.Sites...)
+	for i := 0; i < c.BiasedSites; i++ {
+		// Alternate strongly not-taken / strongly taken biased sites.
+		taken := 0.03
+		if i%2 == 1 {
+			taken = 0.97
+		}
+		allSites = append(allSites, Site{
+			Taken: taken, Pred: 0.995,
+			LoadsB: 2, LoadsC: 1, ALUB: 2, ALUC: 2, StoresB: 1,
+		})
+	}
+
+	if len(allSites) > 63 {
+		panic("workload: too many sites for the packed script stream")
+	}
+	// Pack every site's outcome stream into one shared script word/iter.
+	streams := make([][]bool, len(allSites))
+	for si, s := range allSites {
+		streams[si] = makeStream(s, rng)
+	}
+	for i := 0; i < ScriptLen; i++ {
+		var w int64
+		for si := range streams {
+			if streams[si][i] {
+				w |= 1 << uint(si)
+			}
+		}
+		m.MustStore(ScriptBase+uint64(i)*8, w)
+	}
+
+	for rep := 0; rep < c.replicate(); rep++ {
+		for si, s := range allSites {
+			head := f.AddBlock(fmt.Sprintf("r%d.s%d.head", rep, si))
+			if rep == 0 && si == 0 {
+				loopHead = head
+			}
+			b := f.AddBlock(fmt.Sprintf("r%d.s%d.B", rep, si))
+			cBlk := f.AddBlock(fmt.Sprintf("r%d.s%d.C", rep, si))
+			merge := f.AddBlock(fmt.Sprintf("r%d.s%d.M", rep, si))
+
+			// Head: filler, then the condition slice. All sites share one
+			// packed script stream (site si's outcome is bit si of word i),
+			// so the script adds realistic but modest cache pressure.
+			for k := 0; k < c.FillerALU; k++ {
+				f.Emit(head, ir.Addi(rScratch(k), rScratch(k), int64(k+1)))
+			}
+			// Each replica reads a phase-shifted script position so
+			// replicated sites stay statistically independent.
+			f.Emit(head,
+				ir.Addi(rAddr, rIdx, int64(rep)*1357),
+				ir.Andi(rAddr, rAddr, ScriptLen-1),
+				ir.Muli(rAddr, rAddr, 8),
+				ir.Add(rAddr, rAddr, rScr),
+				ir.Ld(rCondV, rAddr, 0),
+				ir.Andi(rCondV, rCondV, 1<<uint(si)),
+			)
+			for k := 0; k < s.CondALU; k++ {
+				f.Emit(head, ir.Addi(rCondV, rCondV, 0))
+			}
+			for k := 0; k < s.CondMem; k++ {
+				// Chain a data load into the condition without changing its
+				// value: cond |= (x ^ x).
+				condStride := int64(64 * (7*si + 3*k + 5))
+				f.Emit(head,
+					ir.Muli(rCondT, rIdx, condStride),
+					ir.Andi(rCondT, rCondT, wsMask),
+					ir.Add(rCondT, rCondT, rData),
+					ir.Ld(rCondT, rCondT, 0),
+					ir.Xor(rCondT, rCondT, rCondT),
+					ir.Op3(isa.OR, rCondV, rCondV, rCondT),
+				)
+			}
+			f.Emit(head,
+				ir.Cmp(isa.CMPNE, rCondB, rCondV, rZero),
+				ir.BrID(rCondB, cBlk, nextID),
+			)
+
+			emitBlock(f, b, si, 0, s.LoadsB, s.ALUB, s.FPB, s.StoresB, s.StoreEarly, wsMask)
+			f.Emit(b, ir.Jmp(merge))
+			emitBlock(f, cBlk, si, 1, s.LoadsC, s.ALUC, s.FPC, s.StoresC, s.StoreEarly, wsMask)
+			// cBlk falls through to merge; merge falls through to next site.
+			_ = merge
+			nextID++
+		}
+	}
+
+	latch := f.AddBlock("latch")
+	f.Emit(latch,
+		ir.Addi(rIdx, rIdx, 1),
+		ir.Cmp(isa.CMPLT, rCondB, rIdx, rLim),
+		ir.BrID(rCondB, loopHead, 1), // backward loop branch
+	)
+	done := f.AddBlock("done")
+	for i := 0; i < 6; i++ {
+		f.Emit(done, ir.St(rOut, int64(512+8*i), rAcc(i)))
+	}
+	for i := 0; i < 4; i++ {
+		f.Emit(done, ir.St(rOut, int64(640+8*i), fAcc(i)))
+	}
+	f.Emit(done, ir.Halt())
+
+	coldBlk := f.AddBlock("cold")
+	for i := 0; i < cold; i++ {
+		f.Emit(coldBlk, ir.Addi(rScratch(i), rScratch(i), int64(i)))
+	}
+	f.Emit(coldBlk, ir.Jmp(done))
+	// Patch the guard to target the cold block. The guard falls through
+	// to the rest of init (init2 concept folded away: init is one block).
+	f.Blocks[init].Instrs[len(f.Blocks[init].Instrs)-1].Target = coldBlk
+	_ = init2
+
+	p := &ir.Program{Funcs: []*ir.Func{f}}
+	if err := p.Verify(); err != nil {
+		panic(fmt.Sprintf("workload %s: %v", c.Name, err))
+	}
+
+	// Data region: deterministic contents; floats for FP suites too (any
+	// int64 reinterpreted is fine for integer work, so share the region).
+	drng := rand.New(rand.NewSource(in.Seed*31 + 17))
+	for off := int64(0); off < c.WSBytes; off += 64 {
+		m.MustStore(DataBase+uint64(off), int64(drng.Intn(1<<16)+1))
+	}
+	return p, m
+}
+
+// emitBlock fills one successor block with its addressed loads, ALU, FP
+// work, and stores. side 0 = fall-through (B), 1 = taken (C).
+func emitBlock(f *ir.Func, blk, si, side, loads, alu, fp, stores int, storeEarly bool, wsMask int64) {
+	stride := int64(64 * (2*si + side + 1))
+	f.Emit(blk,
+		ir.Muli(rBlk, rIdx, stride),
+		ir.Andi(rBlk, rBlk, wsMask),
+		ir.Add(rBlk, rBlk, rData),
+	)
+	outOff := int64(si*16 + side*8)
+
+	emitStore := func(k int) {
+		f.Emit(blk, ir.St(rOut, outOff+int64(k)*128, rAcc(si+k)))
+	}
+	start := 0
+	if storeEarly && stores > 0 {
+		// An early store caps the hoistable prefix at the address chain
+		// plus one load (low PHI, like the paper's bwaves/dealII), while
+		// the bulk of the block stays below it.
+		if loads > 0 {
+			f.Emit(blk, ir.Ld(rScratch(si), rBlk, 0))
+			start = 1
+		}
+		emitStore(0)
+	}
+	for k := start; k < loads; k++ {
+		f.Emit(blk, ir.Ld(rScratch(si+k), rBlk, int64(k)*8))
+	}
+	// Scratch ALU first, accumulator folds (live on both paths) last, so
+	// the hoistable upper portion is load/ALU-rich and consumers of the
+	// loads sit close to the resolution point.
+	accs := 0
+	for k := 0; k < alu; k++ {
+		switch k % 3 {
+		case 1:
+			f.Emit(blk, ir.Xor(rScratch(si+k), rScratch(si+k), rScratch(si+k+1)))
+		case 2:
+			f.Emit(blk, ir.Addi(rScratch(si+k), rScratch(si+k), int64(k+3)))
+		default:
+			accs++
+		}
+	}
+	for k := 0; k < accs; k++ {
+		f.Emit(blk, ir.Add(rAcc(si+k), rAcc(si+k), rScratch(si+3*k%max(loads, 1))))
+	}
+	for k := 0; k < fp; k++ {
+		switch k % 3 {
+		case 0:
+			f.Emit(blk, ir.Fop(isa.CVTIF, fScratch(si+k), rScratch(si+k%max(loads+alu, 1)), isa.NoReg))
+		case 1:
+			f.Emit(blk, ir.Fop(isa.FADD, fAcc(si+k), fAcc(si+k), fScratch(si+k)))
+		default:
+			f.Emit(blk, ir.Fop(isa.FMUL, fScratch(si+k), fScratch(si+k), fScratch(si+k+1)))
+		}
+	}
+	sk := 0
+	if storeEarly && stores > 0 {
+		sk = 1
+	}
+	for k := sk; k < stores; k++ {
+		emitStore(k)
+	}
+}
+
+// makeStream realizes a site's (taken-rate, predictability) target.
+//
+// Three stream shapes cover the Figure 1 quadrants:
+//   - Regime > 0: regime switching — predictable by any counter
+//     predictor, bias set by the regime mix (the paper's target branches);
+//   - Regime == 0, Period >= 32: a long noisy pattern — beyond a
+//     gshare-class history but learnable by TAGE-class predictors (these
+//     drive the Section 5.3 sensitivity);
+//   - otherwise: i.i.d. coin flips at the taken rate (biased branches are
+//     trivially predictable; 50/50 ones are predication territory).
+func makeStream(s Site, rng *rand.Rand) []bool {
+	outcomes := make([]bool, ScriptLen)
+	switch {
+	case s.Regime > 0:
+		eps := 1 - s.Pred
+		if eps < 0 {
+			eps = 0
+		}
+		// Taken-regime fraction so the stream's taken rate hits target:
+		// taken = frac*(1-eps) + (1-frac)*eps.
+		frac := s.Taken
+		if 1-2*eps > 1e-9 {
+			frac = (s.Taken - eps) / (1 - 2*eps)
+		}
+		frac = clamp01(frac)
+		// Strictly alternating regimes whose mean durations realize the
+		// mix keep the stream's taken rate close to target even over a
+		// modest script length.
+		inTaken := rng.Intn(2) == 0
+		next := func() int {
+			d := 2 * float64(s.Regime)
+			if inTaken {
+				d *= frac
+			} else {
+				d *= 1 - frac
+			}
+			if d < 8 {
+				d = 8
+			}
+			return regimeLen(rng, int(d))
+		}
+		left := next()
+		for i := range outcomes {
+			if left == 0 {
+				inTaken = !inTaken
+				left = next()
+			}
+			v := inTaken
+			if rng.Float64() < eps {
+				v = !v
+			}
+			outcomes[i] = v
+			left--
+		}
+	case s.Period >= 32:
+		eps := 1 - s.Pred
+		pattern := randomPattern(rng, s.Period, s.Taken)
+		for i := range outcomes {
+			v := pattern[i%s.Period]
+			if rng.Float64() < eps {
+				v = !v
+			}
+			outcomes[i] = v
+		}
+	default:
+		for i := range outcomes {
+			outcomes[i] = rng.Float64() < s.Taken
+		}
+	}
+	return outcomes
+}
+
+// regimeLen draws a regime length around the mean (±50%).
+func regimeLen(rng *rand.Rand, mean int) int {
+	lo := mean / 2
+	return lo + rng.Intn(mean) + 1
+}
+
+// randomPattern builds a fixed pattern of the given period and taken rate.
+func randomPattern(rng *rand.Rand, period int, taken float64) []bool {
+	pattern := make([]bool, period)
+	perm := rng.Perm(period)
+	for i := 0; i < int(taken*float64(period)+0.5); i++ {
+		pattern[perm[i]] = true
+	}
+	return pattern
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PatchIters returns a copy of a linearized image of a generated program
+// with the loop iteration limit rewritten, so binaries built (profiled,
+// transformed, scheduled) from the TRAIN program can run REF inputs — the
+// TRAIN and REF programs differ only in this immediate. The method applies
+// the same Replicate scaling Generate does.
+func (c Config) PatchIters(im *ir.Image, iters int64) *ir.Image {
+	scaled := iters / c.iterDivisor()
+	if scaled < 100 {
+		scaled = 100
+	}
+	out := *im
+	out.Instrs = append([]isa.Instr{}, im.Instrs...)
+	for i := range out.Instrs {
+		if out.Instrs[i].Op == isa.LI && out.Instrs[i].Dst == rLim {
+			out.Instrs[i].Imm = scaled
+			return &out
+		}
+	}
+	panic("workload: iteration-limit instruction not found in image")
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"testing"
+
+	"vanguard/internal/core"
+	"vanguard/internal/interp"
+	"vanguard/internal/ir"
+	"vanguard/internal/profile"
+)
+
+func TestAllConfigsGenerateAndRun(t *testing.T) {
+	for _, suite := range AllSuites() {
+		for _, c := range Suite(suite) {
+			p, m := c.Generate(Input{Seed: 1, Iters: 50})
+			im := ir.MustLinearize(p)
+			st, stats, err := interp.Run(im, m, interp.Options{MaxInstrs: 5_000_000})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", suite, c.Name, err)
+			}
+			if !st.Halted {
+				t.Errorf("%s/%s did not halt", suite, c.Name)
+			}
+			if stats.Branches == 0 || stats.Stores == 0 {
+				t.Errorf("%s/%s: degenerate program (%d branches, %d stores)",
+					suite, c.Name, stats.Branches, stats.Stores)
+			}
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	c := Int2006()[0]
+	p1, m1 := c.Generate(Input{Seed: 5, Iters: 100})
+	p2, m2 := c.Generate(Input{Seed: 5, Iters: 100})
+	if p1.String() != p2.String() {
+		t.Error("same seed produced different programs")
+	}
+	if !m1.Equal(m2) {
+		t.Error("same seed produced different memories")
+	}
+	_, m3 := c.Generate(Input{Seed: 6, Iters: 100})
+	if m1.Equal(m3) {
+		t.Error("different seeds produced identical memories (scripts should differ)")
+	}
+}
+
+func TestScriptTargetsRealized(t *testing.T) {
+	// Profile a config and verify that measured bias and predictability
+	// land near the site targets.
+	c := Config{
+		Name: "probe", Suite: "int2006", WSBytes: 64 << 10, FillerALU: 1,
+		Sites: rep(4, intSite(3, 2, 1, 0.92)),
+	}
+	p, m := c.Generate(Input{Seed: 9, Iters: 3000})
+	im := ir.MustLinearize(p)
+	prof, err := profile.CollectDefault(im, m, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, b := range prof.ByID {
+		if id < 100 { // skip the loop latch
+			continue
+		}
+		bias := b.Bias()
+		pred := b.Predictability()
+		if bias < 0.50 || bias > 0.74 {
+			t.Errorf("site %d: bias %.3f outside [0.50, 0.74] (target 0.60)", id, bias)
+		}
+		if pred < 0.80 {
+			t.Errorf("site %d: predictability %.3f, want >= 0.80 (target 0.92)", id, pred)
+		}
+		if pred-bias < 0.05 {
+			t.Errorf("site %d: gap %.3f below eligibility threshold (bias %.3f pred %.3f)",
+				id, pred-bias, bias, pred)
+		}
+	}
+}
+
+func TestHardSitesStayIneligible(t *testing.T) {
+	c := Config{
+		Name: "hard", Suite: "int2006", WSBytes: 64 << 10, FillerALU: 1,
+		Sites: rep(3, hardSite()),
+	}
+	p, m := c.Generate(Input{Seed: 4, Iters: 3000})
+	prof, err := profile.CollectDefault(ir.MustLinearize(p), m, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, b := range prof.ByID {
+		if id < 100 {
+			continue
+		}
+		if gap := b.Predictability() - b.Bias(); gap >= 0.05 {
+			t.Errorf("hard site %d: gap %.3f should stay below 0.05", id, gap)
+		}
+	}
+}
+
+func TestWorkloadsSurviveTransform(t *testing.T) {
+	// Every suite config must profile, transform, and still compute the
+	// same results — the full compiler pipeline equivalence check.
+	for _, suite := range []string{"int2006", "fp2006"} {
+		for _, c := range Suite(suite) {
+			in := TrainInput()
+			in.Iters = 400
+			p, m := c.Generate(in)
+			im := ir.MustLinearize(p)
+			prof, err := profile.CollectDefault(im, m.Clone(), 50_000_000)
+			if err != nil {
+				t.Fatalf("%s profile: %v", c.Name, err)
+			}
+			trans := p.Clone()
+			rep, err := core.Transform(trans, prof, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s transform: %v", c.Name, err)
+			}
+			if len(c.Sites) > 0 && nonHard(c) > 0 && len(rep.Converted) == 0 {
+				t.Errorf("%s: no branches converted (skipped: %v)", c.Name, rep.Skipped)
+			}
+			gm := m.Clone()
+			if _, _, err := interp.Run(im, gm, interp.Options{}); err != nil {
+				t.Fatalf("%s original: %v", c.Name, err)
+			}
+			tm := m.Clone()
+			k := 0
+			if _, _, err := interp.Run(ir.MustLinearize(trans), tm, interp.Options{
+				PredictOracle: func(pc, id int) bool { k++; return k%3 == 0 },
+			}); err != nil {
+				t.Fatalf("%s transformed: %v", c.Name, err)
+			}
+			if !tm.Equal(gm) {
+				t.Errorf("%s: transformation changed program results", c.Name)
+			}
+		}
+	}
+}
+
+func nonHard(c Config) int {
+	n := 0
+	for _, s := range c.Sites {
+		if s.Pred-0.5 > 0.2 && s.Taken > 0.5 && s.Taken < 0.9 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSuiteLookups(t *testing.T) {
+	if len(Int2006()) != 12 || len(FP2006()) != 17 {
+		t.Errorf("SPEC2006 sizes: %d int, %d fp; want 12 and 17 (Table 2)",
+			len(Int2006()), len(FP2006()))
+	}
+	if len(Int2000()) != 12 || len(FP2000()) != 14 {
+		t.Errorf("SPEC2000 sizes: %d int, %d fp", len(Int2000()), len(FP2000()))
+	}
+	if _, ok := ByName("mcf"); !ok {
+		t.Error("ByName failed for mcf")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName invented a benchmark")
+	}
+	if Suite("bogus") != nil {
+		t.Error("unknown suite must return nil")
+	}
+	// Names must be unique within a suite.
+	for _, s := range AllSuites() {
+		seen := map[string]bool{}
+		for _, c := range Suite(s) {
+			if seen[c.Name] {
+				t.Errorf("duplicate benchmark %s in %s", c.Name, s)
+			}
+			seen[c.Name] = true
+			if c.WSBytes&(c.WSBytes-1) != 0 {
+				t.Errorf("%s/%s: working set %d not a power of two", s, c.Name, c.WSBytes)
+			}
+		}
+	}
+}
+
+func TestTrainRefInputsDiffer(t *testing.T) {
+	tr := TrainInput()
+	refs := RefInputs()
+	if len(refs) < 2 {
+		t.Fatal("need at least two REF inputs for the best-vs-all figures")
+	}
+	seen := map[int64]bool{tr.Seed: true}
+	for _, r := range refs {
+		if seen[r.Seed] {
+			t.Error("REF seeds must differ from TRAIN and each other")
+		}
+		seen[r.Seed] = true
+	}
+}
+
+func TestReplicatedFootprints(t *testing.T) {
+	// The big-code benchmarks must generate hot instruction footprints in
+	// the 20KB+ range (what makes the Section 6.1 I-cache study
+	// meaningful), while ordinary benchmarks stay small.
+	hot := func(name string) int {
+		c, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		p, _ := c.Generate(TrainInput())
+		// Hot footprint excludes the guarded cold block.
+		n := 0
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				if b.Label == "cold" {
+					continue
+				}
+				n += len(b.Instrs)
+			}
+		}
+		return n * 4 // bytes
+	}
+	for name, min := range map[string]int{
+		"gcc": 20 << 10, "xalancbmk": 16 << 10,
+		"perlbench": 10 << 10, "gobmk": 10 << 10,
+	} {
+		if got := hot(name); got < min {
+			t.Errorf("%s hot code %dB, want >= %dB", name, got, min)
+		}
+	}
+	if got := hot("h264ref"); got > 8<<10 {
+		t.Errorf("h264ref hot code %dB, want small", got)
+	}
+}
+
+func TestIterScalingKeepsDynamicLengthBounded(t *testing.T) {
+	// Replication must not multiply the dynamic instruction count by the
+	// full replication factor (the iteration divisor compensates).
+	small, _ := ByName("h264ref")
+	big, _ := ByName("gcc")
+	count := func(c Config) int64 {
+		p, m := c.Generate(TrainInput())
+		_, stats, err := interp.Run(ir.MustLinearize(p), m, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Instrs
+	}
+	ns, nb := count(small), count(big)
+	if nb > 8*ns {
+		t.Errorf("gcc dynamic length %d vs h264ref %d: replication not compensated", nb, ns)
+	}
+}
+
+func TestPatchItersMatchesGenerate(t *testing.T) {
+	// A TRAIN-built image patched to REF iterations must execute exactly
+	// as many instructions as a REF-generated program.
+	c, _ := ByName("gcc") // replicated: exercises the divisor path
+	ref := RefInputs()[0]
+	trainProg, _ := c.Generate(TrainInput())
+	_, refMem := c.Generate(ref)
+	patched := c.PatchIters(ir.MustLinearize(trainProg), ref.Iters)
+	_, pStats, err := interp.Run(patched, refMem.Clone(), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refProg, refMem2 := c.Generate(ref)
+	_, rStats, err := interp.Run(ir.MustLinearize(refProg), refMem2, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pStats.Instrs != rStats.Instrs {
+		t.Errorf("patched image ran %d instrs, REF program ran %d", pStats.Instrs, rStats.Instrs)
+	}
+}
+
+func TestColdCodeNeverExecutes(t *testing.T) {
+	c := Int2006()[0]
+	p, m := c.Generate(Input{Seed: 3, Iters: 200})
+	// Count instructions; cold block contributes len() statically.
+	var coldLen int64
+	for _, b := range p.Funcs[0].Blocks {
+		if b.Label == "cold" {
+			coldLen = int64(len(b.Instrs))
+		}
+	}
+	if coldLen == 0 {
+		t.Fatal("cold block missing")
+	}
+	_, stats, err := interp.Run(ir.MustLinearize(p), m, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If cold code executed even once, dynamic length would jump by
+	// coldLen; verify a second run with double cold code has the same
+	// dynamic length.
+	c2 := c
+	c2.ColdInstrs = 1200
+	p2, m2 := c2.Generate(Input{Seed: 3, Iters: 200})
+	_, stats2, err := interp.Run(ir.MustLinearize(p2), m2, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instrs != stats2.Instrs {
+		t.Errorf("cold code leaked into execution: %d vs %d dynamic instrs",
+			stats.Instrs, stats2.Instrs)
+	}
+}
