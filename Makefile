@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the pre-PR gate referenced in
+# README.md: formatting, vet, a full build, and the race-enabled test
+# suite must all pass before a change ships.
+
+GO ?= go
+
+.PHONY: all build test check fmt vet race bench results
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Pre-PR gate: run this before every commit.
+check: fmt vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Regenerate the committed telemetry baselines under results/.
+results: build
+	$(GO) run ./cmd/vgrun -no-hists -width 2 -json results/dotproduct_w2.json -transform examples/asm/dotproduct.s
+	$(GO) run ./cmd/vgrun -no-hists -width 4 -json results/dotproduct_w4.json -transform examples/asm/dotproduct.s
+	$(GO) run ./cmd/vgrun -no-hists -width 8 -json results/dotproduct_w8.json -transform examples/asm/dotproduct.s

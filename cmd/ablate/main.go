@@ -2,7 +2,7 @@
 // the 5% selection threshold, the hoisting depth, the 16-entry DBB, and
 // the condition-slice push-down.
 //
-//	ablate -sweep gap|hoist|dbb|slice|all [-fast]
+//	ablate -sweep gap|hoist|dbb|slice|all [-fast] [-json out.json]
 package main
 
 import (
@@ -19,6 +19,7 @@ func main() {
 	log.SetPrefix("ablate: ")
 	sweep := flag.String("sweep", "all", "gap | hoist | dbb | slice | all")
 	fast := flag.Bool("fast", false, "reduced inputs")
+	jsonF := flag.String("json", "", "also write the sweeps as a structured telemetry report to this file")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -28,43 +29,49 @@ func main() {
 	}
 	names := harness.AblationBenchmarks()
 
+	titles := map[string]string{
+		"gap":   "Selection threshold sweep (paper: predictability-bias >= 5% is best)",
+		"hoist": "Hoist depth sweep",
+		"dbb":   "DBB size sweep (paper: 16 entries more than sufficient)",
+		"slice": "Condition-slice push-down ablation",
+	}
+	sweeps := map[string][]harness.AblationPoint{}
+	var order []string
+
 	run := func(kind string) {
+		var pts []harness.AblationPoint
+		var err error
 		switch kind {
 		case "gap":
-			pts, err := harness.SweepMinGap(names, o, []float64{0, 0.02, 0.05, 0.10, 0.20})
-			if err != nil {
-				log.Fatal(err)
-			}
-			harness.WriteAblation(os.Stdout,
-				"Selection threshold sweep (paper: predictability-bias >= 5% is best)", pts)
+			pts, err = harness.SweepMinGap(names, o, []float64{0, 0.02, 0.05, 0.10, 0.20})
 		case "hoist":
-			pts, err := harness.SweepMaxHoist(names, o, []int{0, 2, 4, 8, 12, 16})
-			if err != nil {
-				log.Fatal(err)
-			}
-			harness.WriteAblation(os.Stdout, "Hoist depth sweep", pts)
+			pts, err = harness.SweepMaxHoist(names, o, []int{0, 2, 4, 8, 12, 16})
 		case "dbb":
-			pts, err := harness.SweepDBBSize(names, o, []int{2, 4, 8, 16, 32})
-			if err != nil {
-				log.Fatal(err)
-			}
-			harness.WriteAblation(os.Stdout,
-				"DBB size sweep (paper: 16 entries more than sufficient)", pts)
+			pts, err = harness.SweepDBBSize(names, o, []int{2, 4, 8, 16, 32})
 		case "slice":
-			pts, err := harness.SlicePushdownAblation(names, o)
-			if err != nil {
-				log.Fatal(err)
-			}
-			harness.WriteAblation(os.Stdout, "Condition-slice push-down ablation", pts)
+			pts, err = harness.SlicePushdownAblation(names, o)
 		default:
 			log.Fatalf("unknown sweep %q", kind)
 		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.WriteAblation(os.Stdout, titles[kind], pts)
+		sweeps[titles[kind]] = pts
+		order = append(order, titles[kind])
 	}
 	if *sweep == "all" {
 		for _, k := range []string{"gap", "hoist", "dbb", "slice"} {
 			run(k)
 		}
-		return
+	} else {
+		run(*sweep)
 	}
-	run(*sweep)
+	if *jsonF != "" {
+		rep := harness.AblationJSON("ablate", sweeps, order)
+		if err := rep.WriteFile(*jsonF); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonF)
+	}
 }

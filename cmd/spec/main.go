@@ -4,7 +4,8 @@
 //	spec -fig 8..13         speedup figures across suites and widths
 //	spec -fig 14            issued-instruction increase
 //	spec -icache            Section 6.1 (24KB vs 32KB L1-I)
-//	spec -csv out.csv       machine-readable dump of everything
+//	spec -csv out.csv       machine-readable dump of everything (flat CSV)
+//	spec -json out.json     structured telemetry report for all suites
 //	spec -all               all of the above to stdout
 //
 // Use -fast for a quick smoke run with reduced inputs.
@@ -38,6 +39,7 @@ func main() {
 		fig    = flag.Int("fig", 0, "regenerate a figure (8-14)")
 		icache = flag.Bool("icache", false, "run the Section 6.1 I-cache study")
 		csv    = flag.String("csv", "", "write CSV results for all suites to a file")
+		jsonF  = flag.String("json", "", "write a structured telemetry report for all suites to a file")
 		report = flag.String("report", "", "write a consolidated markdown report for all suites to a file")
 		all    = flag.Bool("all", false, "run every table and figure")
 		fast   = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
@@ -148,6 +150,25 @@ func main() {
 		defer f.Close()
 		harness.WriteCSV(f, all, o.Widths)
 		log.Printf("wrote %s", *csv)
+		did = true
+	}
+	if *jsonF != "" {
+		var all []*harness.BenchResult
+		for _, s := range workload.AllSuites() {
+			all = append(all, suite(s)...)
+		}
+		f, err := os.Create(*jsonF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := harness.WriteJSON(f, "spec", all); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonF)
 		did = true
 	}
 	if *report != "" {

@@ -6,6 +6,12 @@
 //	vgrun -width 8 prog.s             # 8-wide machine
 //	vgrun -transform prog.s           # profile, decompose, then simulate
 //	vgrun -dump -transform prog.s     # print the transformed assembly
+//	vgrun -json out.json prog.s       # machine-readable telemetry report
+//	vgrun -chrome-trace t.json prog.s # timeline for chrome://tracing / Perfetto
+//
+// If the timing run halts on a deferred architectural fault, vgrun exits
+// non-zero after dumping the last pipeline lifecycle events leading up to
+// the fault (an always-on bounded ring buffer records them).
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"vanguard/internal/pipeline"
 	"vanguard/internal/profile"
 	"vanguard/internal/sched"
+	"vanguard/internal/textplot"
+	"vanguard/internal/trace"
 )
 
 func main() {
@@ -32,7 +40,11 @@ func main() {
 		transform = flag.Bool("transform", false, "apply the decomposed branch transformation (profile-guided)")
 		dump      = flag.Bool("dump", false, "print the (possibly transformed) assembly and exit")
 		maxInstrs = flag.Int64("max-instrs", 50_000_000, "functional instruction cap")
-		trace     = flag.Bool("trace", false, "print per-instruction issue/mispredict events from the timing run")
+		doTrace   = flag.Bool("trace", false, "print issue/mispredict events from the timing run (historical line format)")
+		traceAll  = flag.Bool("trace-all", false, "like -trace, but print every lifecycle event (fetch, commit, squash, DBB push/pop, cache misses, faults)")
+		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+") to this file")
+		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace_event timeline (open in chrome://tracing or ui.perfetto.dev) to this file")
+		noHists   = flag.Bool("no-hists", false, "suppress the ASCII histograms in the text report")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,12 +59,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var rep *core.Report
 	if *transform {
 		prof, err := profile.CollectDefault(ir.MustLinearize(p), mem.New(), *maxInstrs)
 		if err != nil {
 			log.Fatalf("profile: %v", err)
 		}
-		rep, err := core.Transform(p, prof, core.DefaultOptions())
+		rep, err = core.Transform(p, prof, core.DefaultOptions())
 		if err != nil {
 			log.Fatalf("transform: %v", err)
 		}
@@ -75,14 +88,36 @@ func main() {
 		fstats.Instrs, fstats.Branches, fstats.Taken, gst.Halted)
 
 	mach := pipeline.New(im, mem.New(), pipeline.DefaultConfig(*width))
-	if *trace {
-		mach.Trace = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+
+	// An always-on bounded ring keeps the most recent lifecycle events so
+	// a failing run can explain itself post mortem.
+	ring := trace.NewRing(64)
+	sinks := []trace.Sink{ring}
+	if *doTrace || *traceAll {
+		sinks = append(sinks, &trace.Text{W: os.Stderr, All: *traceAll})
 	}
-	st, err := mach.Run()
-	if err != nil {
-		log.Fatalf("simulate: %v", err)
+	var chrome *trace.Chrome
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chrome = trace.NewChrome(f)
+		sinks = append(sinks, chrome)
+	}
+	mach.Sink = trace.Tee(sinks...)
+
+	st, simErr := mach.Run()
+	if chrome != nil {
+		if err := chrome.Close(); err != nil {
+			log.Fatalf("chrome trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
+	}
+	if simErr != nil {
+		fmt.Fprintf(os.Stderr, "last %d pipeline events before the failure:\n", ring.Len())
+		trace.WriteEvents(os.Stderr, ring.Events())
+		log.Fatalf("simulate: %v", simErr)
 	}
 	if !mach.Memory().Equal(gm) {
 		log.Fatal("timing simulation diverged from the golden model")
@@ -92,5 +127,30 @@ func main() {
 	if st.Predicts > 0 {
 		fmt.Printf("decomposed: %d predicts, %d resolves, %d repairs, DBB high-water %d\n",
 			st.Predicts, st.Resolves, st.ResMispredicts, st.MaxDBBOccupancy)
+	}
+	if !*noHists {
+		fmt.Println()
+		textplot.Hist(os.Stdout, "fetch-to-issue latency (cycles)", &st.FetchToIssue, 40)
+		textplot.Hist(os.Stdout, "misprediction repair penalty (cycles)", &st.RepairPenalty, 40)
+		if st.Predicts > 0 {
+			textplot.Hist(os.Stdout, "DBB occupancy (outstanding predicts)", &st.DBBOccupancy, 40)
+			textplot.Hist(os.Stdout, "resolve stall run length (cycles)", &st.StallRunResolve, 40)
+		}
+		textplot.Hist(os.Stdout, "branch stall run length (cycles)", &st.StallRunBranch, 40)
+		textplot.Hist(os.Stdout, "empty-fetch stall run length (cycles)", &st.StallRunEmpty, 40)
+	}
+
+	if *jsonOut != "" {
+		report := trace.NewReport("vgrun")
+		bench := &trace.BenchReport{Name: flag.Arg(0)}
+		if rep != nil {
+			bench.Transform = rep.Telemetry()
+		}
+		bench.Runs = append(bench.Runs, st.RunReport("timing", *width))
+		report.Benchmarks = append(report.Benchmarks, bench)
+		if err := report.WriteFile(*jsonOut); err != nil {
+			log.Fatalf("json report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 }

@@ -51,12 +51,16 @@ func (b *BTB) HitRate() float64 {
 	return float64(b.hits) / float64(t)
 }
 
+// Lookups returns the raw hit/miss counters (surfaced in run reports).
+func (b *BTB) Lookups() (hits, misses uint64) { return b.hits, b.misses }
+
 // RAS is the return address stack (Table 1: 64 entries). It wraps rather
 // than overflowing, like real hardware.
 type RAS struct {
-	stack []int
-	top   int // index of next push slot
-	depth int // live entries, capped at len(stack)
+	stack      []int
+	top        int // index of next push slot
+	depth      int // live entries, capped at len(stack)
+	underflows uint64
 }
 
 // NewRAS builds a RAS with the given number of entries.
@@ -78,6 +82,7 @@ func (r *RAS) Push(retPC int) {
 // misfetch).
 func (r *RAS) Pop() (retPC int, ok bool) {
 	if r.depth == 0 {
+		r.underflows++
 		return 0, false
 	}
 	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
@@ -97,3 +102,7 @@ func (r *RAS) Checkpoint() RASCkpt { return RASCkpt{r.top, r.depth} }
 
 // Restore rewinds to a checkpoint.
 func (r *RAS) Restore(c RASCkpt) { r.top, r.depth = c.top, c.depth }
+
+// Underflows returns how many predictions were attempted on an empty
+// stack (each is a likely misfetch; surfaced in run reports).
+func (r *RAS) Underflows() uint64 { return r.underflows }

@@ -38,6 +38,19 @@ type Hierarchy struct {
 	DemandMisses uint64 // L1D misses that allocated a miss-buffer entry
 	MergedMisses uint64 // accesses that piggybacked on an in-flight line
 	MissBufStall uint64 // cycles lost to a full miss buffer
+
+	// OnMiss, when non-nil, observes every L1 miss that goes to the outer
+	// hierarchy (merged accesses do not re-fire). The pipeline wires this
+	// to its telemetry sink to emit cache-miss events.
+	OnMiss func(Miss)
+}
+
+// Miss describes one L1 miss for the OnMiss observer.
+type Miss struct {
+	Addr    uint64
+	Inst    bool   // instruction-side (L1I) rather than data-side (L1D)
+	Level   string // "l2", "l3" or "mem": where the line was found
+	Latency int64  // total load-to-use latency charged
 }
 
 // NewHierarchy builds the hierarchy.
@@ -62,15 +75,15 @@ func (h *Hierarchy) reap(now int64) {
 }
 
 // missLatency walks L2/L3/memory for a line that missed in an L1 and
-// returns the total load-to-use latency.
-func (h *Hierarchy) missLatency(addr uint64) int {
+// returns the total load-to-use latency and the level that supplied it.
+func (h *Hierarchy) missLatency(addr uint64) (int, string) {
 	if h.L2.Access(addr) {
-		return h.cfg.L2.Latency
+		return h.cfg.L2.Latency, "l2"
 	}
 	if h.L3.Access(addr) {
-		return h.cfg.L3.Latency
+		return h.cfg.L3.Latency, "l3"
 	}
-	return h.cfg.MemLatency
+	return h.cfg.MemLatency, "mem"
 }
 
 // Data performs a data access at cycle now and returns the cycle the value
@@ -107,8 +120,12 @@ func (h *Hierarchy) Data(now int64, addr uint64) int64 {
 		}
 	}
 	h.DemandMisses++
-	done := start + int64(h.missLatency(addr))
+	lat, level := h.missLatency(addr)
+	done := start + int64(lat)
 	h.inflight[la] = done
+	if h.OnMiss != nil {
+		h.OnMiss(Miss{Addr: addr, Level: level, Latency: done - now})
+	}
 	return done
 }
 
@@ -119,7 +136,12 @@ func (h *Hierarchy) Inst(addr uint64) int64 {
 	if h.L1I.Access(addr) {
 		return 0
 	}
-	return int64(h.missLatency(addr)) - int64(h.cfg.L1I.Latency)
+	lat, level := h.missLatency(addr)
+	stall := int64(lat) - int64(h.cfg.L1I.Latency)
+	if h.OnMiss != nil {
+		h.OnMiss(Miss{Addr: addr, Inst: true, Level: level, Latency: stall})
+	}
+	return stall
 }
 
 // ResetStats clears all counters (contents preserved) for warmup exclusion.

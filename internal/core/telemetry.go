@@ -1,0 +1,28 @@
+package core
+
+import "vanguard/internal/trace"
+
+// Telemetry converts the transformation report into the shared
+// machine-readable schema used by every CLI's -json output.
+func (r *Report) Telemetry() *trace.TransformReport {
+	out := &trace.TransformReport{
+		Converted:     len(r.Converted),
+		ForwardStatic: r.ForwardStatic,
+		PBCPct:        r.PBC(),
+		PISCSPct:      r.PISCS(),
+		StaticBefore:  r.StaticBefore,
+		StaticAfter:   r.StaticAfter,
+	}
+	for _, c := range r.Converted {
+		out.Branches = append(out.Branches, trace.BranchReport{
+			ID:             c.ID,
+			Bias:           c.Bias,
+			Predictability: c.Predictability,
+			Execs:          c.Execs,
+			SlicePushed:    c.SlicePushed,
+			Hoisted:        c.HoistedB + c.HoistedC,
+			Temps:          c.Temps,
+		})
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"vanguard/internal/trace"
+)
+
+// JSONReport converts a set of benchmark results into the shared
+// telemetry schema: one BenchReport per benchmark, with the transform
+// summary and one RunReport per (input, width, binary).
+func JSONReport(tool string, results []*BenchResult) *trace.Report {
+	rep := trace.NewReport(tool)
+	for _, r := range results {
+		br := &trace.BenchReport{
+			Name:  r.Config.Name,
+			Suite: r.Config.Suite,
+		}
+		if r.Report != nil {
+			br.Transform = r.Report.Telemetry()
+		}
+		for i := range r.Inputs {
+			in := &r.Inputs[i]
+			label := fmt.Sprintf("seed=%d,iters=%d", in.Input.Seed, in.Input.Iters)
+			for _, wr := range in.Runs {
+				base := wr.Base.RunReport("base", wr.Width)
+				base.Input = label
+				exp := wr.Exp.RunReport("exp", wr.Width)
+				exp.Input = label
+				br.Runs = append(br.Runs, base, exp)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+	}
+	return rep
+}
+
+// WriteJSON renders results as an indented telemetry report.
+func WriteJSON(w io.Writer, tool string, results []*BenchResult) error {
+	return JSONReport(tool, results).Write(w)
+}
+
+// AblationJSON converts ablation sweeps into the telemetry schema.
+func AblationJSON(tool string, sweeps map[string][]AblationPoint, order []string) *trace.Report {
+	rep := trace.NewReport(tool)
+	for _, title := range order {
+		ar := &trace.AblationReport{Title: title}
+		for _, p := range sweeps[title] {
+			ar.Points = append(ar.Points, trace.AblationPoint{Label: p.Label, SpeedupPct: p.SpeedupPct})
+		}
+		rep.Ablations = append(rep.Ablations, ar)
+	}
+	return rep
+}

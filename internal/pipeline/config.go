@@ -16,6 +16,7 @@ package pipeline
 import (
 	"vanguard/internal/bpred"
 	"vanguard/internal/cache"
+	"vanguard/internal/trace"
 )
 
 // Config describes one machine configuration.
@@ -100,12 +101,25 @@ type Stats struct {
 	RetMispredicts int64 // RAS target mispredictions
 	Flushes        int64 // pipeline flushes (one per misprediction recovery)
 
-	// Stall attribution at the issue head.
+	// Stall attribution at the issue head: scalar totals, plus run-length
+	// distributions below that say whether the cycles come as many short
+	// hiccups or few long outages.
 	ResolveStallCycles int64 // head is a RESOLVE waiting on its condition
 	BranchStallCycles  int64 // head is a BR waiting on its condition
 	OperandStallCycles int64 // head waits on operands (all kinds)
 	FUStallCycles      int64 // head ready but no port/unit free
 	EmptyFetchCycles   int64 // nothing issuable in the buffer
+
+	// Distribution telemetry (power-of-two histograms; always recorded —
+	// the cost is a few integer ops per sample).
+	FetchToIssue    trace.Hist // cycles from fetch to issue, per issued instruction
+	RepairPenalty   trace.Hist // cycles from a flush until the next instruction issues
+	DBBOccupancy    trace.Hist // outstanding decomposed branches, sampled at every push/pop
+	StallRunEmpty   trace.Hist // run lengths (cycles) of empty-fetch issue-head stalls
+	StallRunOperand trace.Hist // ... of operand stalls not attributed to a control point
+	StallRunBranch  trace.Hist // ... of operand stalls attributed to a BR condition
+	StallRunResolve trace.Hist // ... of operand stalls attributed to a RESOLVE condition
+	StallRunFU      trace.Hist // ... of structural (no free unit) stalls
 
 	// Exceptions counts injected exceptional control-flow events.
 	Exceptions int64
@@ -121,6 +135,11 @@ type Stats struct {
 	L1IMissRate            float64
 	ICacheMisses           int64
 	ICacheMissUnderMispred int64
+
+	// Front-end structures (mirrors of bpred counters).
+	BTBHits       int64
+	BTBMisses     int64
+	RASUnderflows int64
 
 	// Per static branch (by BranchID): execution/misprediction/stall.
 	PerBranch map[int]*BranchStats

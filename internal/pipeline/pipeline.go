@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -10,14 +11,16 @@ import (
 	"vanguard/internal/ir"
 	"vanguard/internal/isa"
 	"vanguard/internal/mem"
+	"vanguard/internal/trace"
 )
 
 // fetchEntry is one slot of the fetch buffer.
 type fetchEntry struct {
-	seq     int64
-	pc      int
-	ins     isa.Instr
-	readyAt int64 // earliest issue cycle (front-end traversal)
+	seq       int64
+	pc        int
+	ins       isa.Instr
+	readyAt   int64 // earliest issue cycle (front-end traversal)
+	fetchedAt int64 // cycle the entry was fetched (fetch-to-issue telemetry)
 
 	// Speculation metadata captured in the front end.
 	predTaken   bool       // BR: predicted direction
@@ -96,18 +99,34 @@ type Machine struct {
 	fetchStall    int64
 	lastFetchLine uint64
 	fetchHalted   bool
-	fb            []fetchEntry
-	seq           int64
-	curSeq        int64
+	// The fetch buffer is a head-indexed queue over a slice whose
+	// capacity is pinned at FetchBufEntries: issue pops by advancing
+	// fbHead and fbPush compacts the live tail down only when the
+	// storage is exhausted, so steady-state fetch never reallocates.
+	fb     []fetchEntry
+	fbHead int
+	seq    int64
+	curSeq int64
 
 	inflight []*specPoint
 	sb       []sbEntry
 
-	// Trace, when non-nil, receives a line per interesting event (issue,
-	// flush, resolution); invaluable when debugging schedules.
-	Trace func(format string, args ...any)
+	// Sink, when non-nil, receives one typed trace.Event per lifecycle
+	// event (fetch, issue, commit, squash, mispredict, resolve firing,
+	// DBB push/pop, cache miss, deferred fault). Attach a trace.Ring for
+	// post-mortems, a trace.Text for human-readable logs, a trace.Chrome
+	// for Perfetto timelines, or trace.Tee for several at once. Set it
+	// before Run; a nil sink costs one branch per event site.
+	Sink trace.Sink
 
 	dbbOcc int // currently outstanding decomposed branches
+
+	// Issue-head stall run tracking (feeds the StallRun* histograms).
+	stallCause uint8
+	stallRun   int64
+	// repairStart is the cycle of the flush currently being repaired, or
+	// -1 when issue has caught up again (feeds RepairPenalty).
+	repairStart int64
 
 	nextException int64
 
@@ -133,8 +152,10 @@ func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
 		DBB:           NewDBB(cfg.DBBEntries),
 		fetchPC:       im.Entry,
 		lastFetchLine: math.MaxUint64,
+		fb:            make([]fetchEntry, 0, cfg.FetchBufEntries),
 		haltSeq:       -1,
 		pendFaultSeq:  -1,
+		repairStart:   -1,
 	}
 	mach.st = exec.NewState(sbView{mach}, im.Entry)
 	mach.nextException = cfg.ExceptionEveryN
@@ -153,10 +174,15 @@ const exceptionPenaltyCycles = 30
 // before the event suppress their updates instead of training garbage.
 func (m *Machine) takeException() {
 	m.stats.Exceptions++
-	if len(m.fb) > 0 {
-		m.fetchPC = m.fb[0].pc
-		m.stats.SquashedFetched += int64(len(m.fb))
-		m.fb = m.fb[:0]
+	if m.fbLen() > 0 {
+		head := &m.fb[m.fbHead]
+		m.fetchPC = head.pc
+		m.stats.SquashedFetched += int64(m.fbLen())
+		if m.Sink != nil {
+			m.Sink.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseException,
+				Cycle: m.now, Seq: head.seq, PC: head.pc, Val: int64(m.fbLen())})
+		}
+		m.fbClear()
 	}
 	m.fetchHalted = false
 	m.lastFetchLine = math.MaxUint64
@@ -167,6 +193,10 @@ func (m *Machine) takeException() {
 	for i := 0; i < 2; i++ {
 		taken, meta := m.pred.Predict(handlerPC + uint64(i*4))
 		m.DBB.Insert(handlerPC+uint64(i*4), taken, meta, m.pred.Checkpoint())
+		if m.Sink != nil {
+			m.Sink.Emit(trace.Event{Kind: trace.KindDBBPush, Cause: trace.CauseException,
+				Cycle: m.now, Seq: -1, Val: int64(m.dbbOcc)})
+		}
 	}
 	// ...and under the second strategy, the return to user code marks
 	// everything invalid, so stale pairings suppress their updates until
@@ -189,12 +219,24 @@ func (m *Machine) Run() (*Stats, error) {
 	if maxCycles <= 0 {
 		maxCycles = 2_000_000_000
 	}
+	if m.Sink != nil && m.Hier.OnMiss == nil {
+		m.Hier.OnMiss = func(ms cache.Miss) {
+			cause := trace.CauseDCache
+			if ms.Inst {
+				cause = trace.CauseICache
+			}
+			m.Sink.Emit(trace.Event{Kind: trace.KindCacheMiss, Cause: cause,
+				Cycle: m.now, Seq: -1, Addr: ms.Addr, Val: ms.Latency})
+		}
+	}
 	for {
 		if m.now >= maxCycles {
+			m.finishStats()
 			return &m.stats, fmt.Errorf("pipeline: cycle limit %d reached at pc %d", maxCycles, m.fetchPC)
 		}
 		m.resolve()
 		if err := m.commitFaultCheck(); err != nil {
+			m.finishStats()
 			return &m.stats, err
 		}
 		m.drainStores()
@@ -210,11 +252,21 @@ func (m *Machine) Run() (*Stats, error) {
 		m.fetch()
 		m.now++
 	}
+	m.finishStats()
+	return &m.stats, nil
+}
+
+// finishStats fills the derived/mirrored Stats fields and flushes any
+// open stall run.
+func (m *Machine) finishStats() {
+	m.endStallRun()
 	m.stats.Cycles = m.now
 	m.stats.Committed = m.stats.Issued - m.stats.WrongPathIssued
 	m.stats.L1DMissRate = m.Hier.L1D.MissRate()
 	m.stats.L1IMissRate = m.Hier.L1I.MissRate()
-	return &m.stats, nil
+	hits, misses := m.btb.Lookups()
+	m.stats.BTBHits, m.stats.BTBMisses = int64(hits), int64(misses)
+	m.stats.RASUnderflows = int64(m.ras.Underflows())
 }
 
 // done reports whether the committed HALT has drained the machine, or the
@@ -280,20 +332,42 @@ func (m *Machine) resolve() {
 		}
 
 		if sp.mispredict {
-			if m.Trace != nil {
-				m.Trace("[%d] MISPREDICT %v at pc %d -> redirect %d", m.now, fe.ins, fe.pc, sp.redirectPC)
+			if m.Sink != nil {
+				cause := trace.CauseBranch
+				switch fe.ins.Op {
+				case isa.RESOLVE:
+					cause = trace.CauseResolve
+					m.Sink.Emit(trace.Event{Kind: trace.KindResolveFire, Cause: cause, Cycle: m.now,
+						Seq: fe.seq, PC: fe.pc, Ins: fe.ins, Val: int64(sp.redirectPC)})
+				case isa.RET:
+					cause = trace.CauseReturn
+				}
+				m.Sink.Emit(trace.Event{Kind: trace.KindMispredict, Cause: cause, Cycle: m.now,
+					Seq: fe.seq, PC: fe.pc, Ins: fe.ins, Val: int64(sp.redirectPC)})
 			}
 			m.flush(sp)
 			return
+		}
+		if m.Sink != nil {
+			m.Sink.Emit(trace.Event{Kind: trace.KindCommit, Cycle: m.now,
+				Seq: fe.seq, PC: fe.pc, Ins: fe.ins})
 		}
 	}
 }
 
 // flush squashes everything younger than sp and redirects fetch.
 func (m *Machine) flush(sp *specPoint) {
-	m.stats.WrongPathIssued += m.stats.Issued - sp.issuedSnapshot
-	m.stats.SquashedFetched += int64(len(m.fb))
-	m.fb = m.fb[:0]
+	wrongPath := m.stats.Issued - sp.issuedSnapshot
+	if m.Sink != nil {
+		m.Sink.Emit(trace.Event{Kind: trace.KindSquash, Cycle: m.now,
+			Seq: sp.fe.seq, PC: sp.fe.pc, Val: wrongPath + int64(m.fbLen())})
+	}
+	if m.repairStart < 0 {
+		m.repairStart = m.now
+	}
+	m.stats.WrongPathIssued += wrongPath
+	m.stats.SquashedFetched += int64(m.fbLen())
+	m.fbClear()
 	m.inflight = m.inflight[:0] // all remaining are younger
 
 	// Squash buffered stores younger than the speculation point.
@@ -336,6 +410,15 @@ func (m *Machine) commitFaultCheck() error {
 		return nil
 	}
 	if len(m.inflight) == 0 || m.inflight[0].fe.seq > m.pendFaultSeq {
+		if m.Sink != nil {
+			var addr uint64
+			var f *mem.Fault
+			if errors.As(m.pendFaultErr, &f) {
+				addr = f.Addr
+			}
+			m.Sink.Emit(trace.Event{Kind: trace.KindFault, Cycle: m.now,
+				Seq: m.pendFaultSeq, Addr: addr})
+		}
 		return fmt.Errorf("pipeline: architectural fault at seq %d: %w", m.pendFaultSeq, m.pendFaultErr)
 	}
 	return nil
@@ -369,6 +452,50 @@ func (m *Machine) drainAll() {
 
 // ---- issue ----
 
+// Issue-head stall causes for run-length telemetry. The taxonomy mirrors
+// the scalar *StallCycles counters: a "run" is a maximal streak of
+// zero-issue cycles blamed on the same cause, ended by an issue or a
+// cause change.
+const (
+	stallNone = iota
+	stallEmpty
+	stallOperand
+	stallBranch
+	stallResolve
+	stallFU
+)
+
+// noteStall accounts one zero-issue cycle to cause, extending or starting
+// a run.
+func (m *Machine) noteStall(cause uint8) {
+	if cause != m.stallCause {
+		m.endStallRun()
+		m.stallCause = cause
+	}
+	m.stallRun++
+}
+
+// endStallRun closes the open stall run, recording its length in the
+// matching histogram.
+func (m *Machine) endStallRun() {
+	if m.stallRun == 0 {
+		return
+	}
+	switch m.stallCause {
+	case stallEmpty:
+		m.stats.StallRunEmpty.Observe(m.stallRun)
+	case stallOperand:
+		m.stats.StallRunOperand.Observe(m.stallRun)
+	case stallBranch:
+		m.stats.StallRunBranch.Observe(m.stallRun)
+	case stallResolve:
+		m.stats.StallRunResolve.Observe(m.stallRun)
+	case stallFU:
+		m.stats.StallRunFU.Observe(m.stallRun)
+	}
+	m.stallRun, m.stallCause = 0, stallNone
+}
+
 func (m *Machine) opReady(r isa.Reg) bool {
 	return r == isa.NoReg || m.regReady[r] <= m.now
 }
@@ -387,11 +514,12 @@ func (m *Machine) fuLimit(fu isa.FU) int {
 func (m *Machine) issue() {
 	issued := 0
 	var fuUsed [isa.NumFUClasses]int
-	for len(m.fb) > 0 && issued < m.cfg.Width {
-		fe := &m.fb[0]
+	for m.fbLen() > 0 && issued < m.cfg.Width {
+		fe := &m.fb[m.fbHead]
 		if fe.readyAt > m.now {
 			if issued == 0 {
 				m.stats.EmptyFetchCycles++
+				m.noteStall(stallEmpty)
 			}
 			return
 		}
@@ -403,19 +531,23 @@ func (m *Machine) issue() {
 				// control point it is delaying: the first BR/RESOLVE in
 				// the blocked window (the stalled instruction is usually
 				// its condition slice).
-				for k := 0; k < len(m.fb) && k < 6; k++ {
-					op := m.fb[k].ins.Op
-					if op == isa.RESOLVE {
+				cause := uint8(stallOperand)
+				for k := 0; k < m.fbLen() && k < 6; k++ {
+					ins := &m.fb[m.fbHead+k].ins
+					if ins.Op == isa.RESOLVE {
 						m.stats.ResolveStallCycles++
-						m.stats.branch(m.fb[k].ins.BranchID).StallCycles++
+						m.stats.branch(ins.BranchID).StallCycles++
+						cause = stallResolve
 						break
 					}
-					if op == isa.BR {
+					if ins.Op == isa.BR {
 						m.stats.BranchStallCycles++
-						m.stats.branch(m.fb[k].ins.BranchID).StallCycles++
+						m.stats.branch(ins.BranchID).StallCycles++
+						cause = stallBranch
 						break
 					}
 				}
+				m.noteStall(cause)
 			}
 			return
 		}
@@ -423,11 +555,12 @@ func (m *Machine) issue() {
 		if fuUsed[fu] >= m.fuLimit(fu) {
 			if issued == 0 {
 				m.stats.FUStallCycles++
+				m.noteStall(stallFU)
 			}
 			return
 		}
 		entry := *fe
-		m.fb = m.fb[1:]
+		m.fbPop()
 		fuUsed[fu]++
 		issued++
 		m.issueOne(entry)
@@ -435,15 +568,25 @@ func (m *Machine) issue() {
 			return
 		}
 	}
-	if issued == 0 && len(m.fb) == 0 {
+	if issued == 0 && m.fbLen() == 0 {
 		m.stats.EmptyFetchCycles++
+		m.noteStall(stallEmpty)
 	}
 }
 
 func (m *Machine) issueOne(fe fetchEntry) {
 	m.stats.Issued++
-	if m.Trace != nil {
-		m.Trace("[%d] issue seq=%d pc=%d %v", m.now, fe.seq, fe.pc, fe.ins)
+	m.stats.FetchToIssue.Observe(m.now - fe.fetchedAt)
+	if m.stallRun > 0 {
+		m.endStallRun()
+	}
+	if m.repairStart >= 0 {
+		m.stats.RepairPenalty.Observe(m.now - m.repairStart)
+		m.repairStart = -1
+	}
+	if m.Sink != nil {
+		m.Sink.Emit(trace.Event{Kind: trace.KindIssue, Cycle: m.now,
+			Seq: fe.seq, PC: fe.pc, Ins: fe.ins})
 	}
 
 	var sp *specPoint
@@ -517,6 +660,33 @@ func (m *Machine) sbForwarded(addr uint64) bool {
 	return false
 }
 
+// ---- fetch buffer queue ----
+
+func (m *Machine) fbLen() int { return len(m.fb) - m.fbHead }
+
+// fbPush appends at the tail, compacting consumed head space only when
+// the backing storage is full — occupancy is bounded by FetchBufEntries,
+// so the copy moves at most that many entries and amortizes to O(1).
+func (m *Machine) fbPush(fe fetchEntry) {
+	if len(m.fb) == cap(m.fb) && m.fbHead > 0 {
+		n := copy(m.fb, m.fb[m.fbHead:])
+		m.fb = m.fb[:n]
+		m.fbHead = 0
+	}
+	m.fb = append(m.fb, fe)
+}
+
+func (m *Machine) fbPop() {
+	m.fbHead++
+	if m.fbHead == len(m.fb) {
+		m.fb, m.fbHead = m.fb[:0], 0
+	}
+}
+
+func (m *Machine) fbClear() {
+	m.fb, m.fbHead = m.fb[:0], 0
+}
+
 // ---- fetch ----
 
 func (m *Machine) fetch() {
@@ -528,7 +698,7 @@ func (m *Machine) fetch() {
 		return
 	}
 	fetched := 0
-	for fetched < m.cfg.Width && len(m.fb) < m.cfg.FetchBufEntries {
+	for fetched < m.cfg.Width && m.fbLen() < m.cfg.FetchBufEntries {
 		if m.fetchPC < 0 || m.fetchPC >= len(m.im.Instrs) {
 			// Wrong-path fetch ran off the image; wait for the flush.
 			m.fetchHalted = true
@@ -552,23 +722,28 @@ func (m *Machine) fetch() {
 
 		ins := m.im.Instrs[m.fetchPC]
 		fe := fetchEntry{
-			seq:     m.seq,
-			pc:      m.fetchPC,
-			ins:     ins,
-			readyAt: m.now + int64(m.cfg.FrontEndDepth) - 1,
+			seq:       m.seq,
+			pc:        m.fetchPC,
+			ins:       ins,
+			readyAt:   m.now + int64(m.cfg.FrontEndDepth) - 1,
+			fetchedAt: m.now,
 		}
 		m.seq++
 		fetched++
 		m.stats.Fetched++
+		if m.Sink != nil {
+			m.Sink.Emit(trace.Event{Kind: trace.KindFetch, Cycle: m.now,
+				Seq: fe.seq, PC: fe.pc, Ins: ins})
+		}
 
 		switch ins.Op {
 		case isa.JMP:
-			m.fb = append(m.fb, fe)
+			m.fbPush(fe)
 			m.fetchPC = ins.Target
 			return // taken redirect ends the fetch group
 		case isa.CALL:
 			m.ras.Push(m.fetchPC + 1)
-			m.fb = append(m.fb, fe)
+			m.fbPush(fe)
 			m.fetchPC = ins.Target
 			return
 		case isa.RET:
@@ -580,7 +755,7 @@ func (m *Machine) fetch() {
 			fe.predTarget = tgt
 			fe.histCkpt = m.pred.Checkpoint()
 			fe.dbbTailCkpt = m.DBB.Tail()
-			m.fb = append(m.fb, fe)
+			m.fbPush(fe)
 			m.fetchPC = tgt
 			return
 		case isa.BR:
@@ -592,7 +767,7 @@ func (m *Machine) fetch() {
 			m.pred.PushHistory(taken)
 			m.btb.Lookup(addr)
 			fe.predTaken, fe.meta = taken, meta
-			m.fb = append(m.fb, fe)
+			m.fbPush(fe)
 			if taken {
 				m.fetchPC = ins.Target
 				return
@@ -609,6 +784,11 @@ func (m *Machine) fetch() {
 			if m.dbbOcc > m.stats.MaxDBBOccupancy {
 				m.stats.MaxDBBOccupancy = m.dbbOcc
 			}
+			m.stats.DBBOccupancy.Observe(int64(m.dbbOcc))
+			if m.Sink != nil {
+				m.Sink.Emit(trace.Event{Kind: trace.KindDBBPush, Cycle: m.now,
+					Seq: fe.seq, PC: fe.pc, Ins: ins, Val: int64(m.dbbOcc)})
+			}
 			if taken {
 				m.fetchPC = ins.Target
 				return
@@ -624,14 +804,19 @@ func (m *Machine) fetch() {
 			if m.dbbOcc > 0 {
 				m.dbbOcc--
 			}
-			m.fb = append(m.fb, fe)
+			m.stats.DBBOccupancy.Observe(int64(m.dbbOcc))
+			if m.Sink != nil {
+				m.Sink.Emit(trace.Event{Kind: trace.KindDBBPop, Cycle: m.now,
+					Seq: fe.seq, PC: fe.pc, Ins: ins, Val: int64(m.dbbOcc)})
+			}
+			m.fbPush(fe)
 			m.fetchPC++
 		case isa.HALT:
-			m.fb = append(m.fb, fe)
+			m.fbPush(fe)
 			m.fetchHalted = true
 			return
 		default:
-			m.fb = append(m.fb, fe)
+			m.fbPush(fe)
 			m.fetchPC++
 		}
 	}

@@ -1,0 +1,65 @@
+package pipeline
+
+import "vanguard/internal/trace"
+
+// RunReport converts the run statistics into the shared telemetry
+// schema (trace.RunReport): stable snake_case counter and rate keys plus
+// the latency/occupancy histograms. The returned report aliases the
+// Stats histograms; marshal it before mutating s further.
+func (s *Stats) RunReport(label string, width int) *trace.RunReport {
+	counters := map[string]int64{
+		"cycles":                      s.Cycles,
+		"fetched":                     s.Fetched,
+		"issued":                      s.Issued,
+		"committed":                   s.Committed,
+		"wrong_path_issued":           s.WrongPathIssued,
+		"squashed_fetched":            s.SquashedFetched,
+		"cond_branches":               s.CondBranches,
+		"predicts":                    s.Predicts,
+		"resolves":                    s.Resolves,
+		"br_mispredicts":              s.BrMispredicts,
+		"res_mispredicts":             s.ResMispredicts,
+		"ret_mispredicts":             s.RetMispredicts,
+		"flushes":                     s.Flushes,
+		"resolve_stall_cycles":        s.ResolveStallCycles,
+		"branch_stall_cycles":         s.BranchStallCycles,
+		"operand_stall_cycles":        s.OperandStallCycles,
+		"fu_stall_cycles":             s.FUStallCycles,
+		"empty_fetch_cycles":          s.EmptyFetchCycles,
+		"exceptions":                  s.Exceptions,
+		"max_dbb_occupancy":           int64(s.MaxDBBOccupancy),
+		"icache_misses":               s.ICacheMisses,
+		"icache_misses_under_mispred": s.ICacheMissUnderMispred,
+		"btb_hits":                    s.BTBHits,
+		"btb_misses":                  s.BTBMisses,
+		"ras_underflows":              s.RASUnderflows,
+	}
+	if s.Halted {
+		counters["halted"] = 1
+	} else {
+		counters["halted"] = 0
+	}
+	rates := map[string]float64{
+		"ipc":           s.IPC(),
+		"mpki":          s.MPKI(),
+		"l1d_miss_rate": s.L1DMissRate,
+		"l1i_miss_rate": s.L1IMissRate,
+	}
+	hists := map[string]*trace.Hist{
+		"fetch_to_issue":    &s.FetchToIssue,
+		"repair_penalty":    &s.RepairPenalty,
+		"dbb_occupancy":     &s.DBBOccupancy,
+		"stall_run_empty":   &s.StallRunEmpty,
+		"stall_run_operand": &s.StallRunOperand,
+		"stall_run_branch":  &s.StallRunBranch,
+		"stall_run_resolve": &s.StallRunResolve,
+		"stall_run_fu":      &s.StallRunFU,
+	}
+	return &trace.RunReport{
+		Label:    label,
+		Width:    width,
+		Counters: counters,
+		Rates:    rates,
+		Hists:    hists,
+	}
+}

@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"io"
+	"os"
+	"reflect"
+	"testing"
+
+	"vanguard/internal/asm"
+	"vanguard/internal/core"
+	"vanguard/internal/ir"
+	"vanguard/internal/mem"
+	"vanguard/internal/profile"
+	"vanguard/internal/sched"
+	"vanguard/internal/trace"
+)
+
+// dotproduct loads and (optionally) transforms examples/asm/dotproduct.s,
+// returning a fresh linearized image for each run.
+func dotproduct(t *testing.T, transform bool, width int) *ir.Image {
+	t.Helper()
+	src, err := os.ReadFile("../../examples/asm/dotproduct.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := asm.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transform {
+		prof, err := profile.CollectDefault(ir.MustLinearize(p), mem.New(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Transform(p, prof, core.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		sched.Program(p, sched.DefaultModel(width))
+	}
+	return ir.MustLinearize(p)
+}
+
+// TestSinkDoesNotChangeStats is the observability differential check: the
+// timing model must be byte-for-byte deterministic whether or not a trace
+// sink is attached. Every Stats field — counters and histograms alike —
+// must be identical with no sink, with a ring buffer, and with text and
+// Chrome sinks writing to io.Discard.
+func TestSinkDoesNotChangeStats(t *testing.T) {
+	for _, transform := range []bool{false, true} {
+		run := func(sink trace.Sink) *Stats {
+			m := New(dotproduct(t, transform, 4), mem.New(), DefaultConfig(4))
+			m.Sink = sink
+			st, err := m.Run()
+			if err != nil {
+				t.Fatalf("transform=%v: %v", transform, err)
+			}
+			return st
+		}
+		base := run(nil)
+		ring := trace.NewRing(128)
+		withSinks := run(trace.Tee(
+			ring,
+			&trace.Text{W: io.Discard, All: true},
+			trace.NewChrome(nopWriteCloser{io.Discard}),
+		))
+		if !reflect.DeepEqual(base, withSinks) {
+			t.Errorf("transform=%v: attaching sinks changed Stats:\n  no sink: %+v\n  sinks:   %+v",
+				transform, base, withSinks)
+		}
+		if ring.Len() == 0 {
+			t.Errorf("transform=%v: ring sink saw no events", transform)
+		}
+		if base.Cycles == 0 || base.Committed == 0 {
+			t.Errorf("transform=%v: suspicious empty run: %+v", transform, base)
+		}
+		if base.FetchToIssue.Count != base.Issued {
+			t.Errorf("transform=%v: fetch-to-issue samples %d != issued %d",
+				transform, base.FetchToIssue.Count, base.Issued)
+		}
+	}
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }

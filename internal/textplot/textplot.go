@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"vanguard/internal/trace"
 )
 
 // Bar is one labelled value in a bar chart.
@@ -49,6 +51,44 @@ func Bars(w io.Writer, title string, bars []Bar, width int) {
 		} else {
 			fmt.Fprintf(w, "  %-*s %8.2f  |%s\n", labelW, b.Label, b.Value, bar)
 		}
+	}
+}
+
+// Hist renders a trace.Hist as a labelled horizontal bar chart, one row
+// per non-empty power-of-two bucket, with a summary line of count, mean
+// and tail quantiles. Empty histograms render a single placeholder row.
+func Hist(w io.Writer, title string, h *trace.Hist, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	if h.Count == 0 {
+		fmt.Fprintf(w, "%s: (no samples)\n", title)
+		return
+	}
+	fmt.Fprintf(w, "%s: count=%d mean=%.1f p50<=%d p99<=%d max=%d\n",
+		title, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.MaxV)
+	var maxN int64
+	for _, n := range h.Buckets {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := trace.BucketBounds(i)
+		label := fmt.Sprintf("[%d,%d)", lo, hi)
+		if i == 0 {
+			label = fmt.Sprintf("<=%d", 0)
+		} else if hi == math.MaxInt64 {
+			label = fmt.Sprintf(">=%d", lo)
+		}
+		bar := strings.Repeat("#", int(float64(n)/float64(maxN)*float64(width)+0.5))
+		if bar == "" {
+			bar = "."
+		}
+		fmt.Fprintf(w, "  %-22s %10d |%s\n", label, n, bar)
 	}
 }
 

@@ -3,6 +3,8 @@ package textplot
 import (
 	"strings"
 	"testing"
+
+	"vanguard/internal/trace"
 )
 
 func TestBarsScalesToWidth(t *testing.T) {
@@ -76,5 +78,42 @@ func TestSeriesDegenerate(t *testing.T) {
 	Series(&sb, "const", [2]string{"a", "b"}, [2][]float64{{1, 1, 1}, {1, 1}}, 10, 4)
 	if !strings.Contains(sb.String(), "*") {
 		t.Error("constant series must still plot")
+	}
+}
+
+func TestHistRendersBucketsAndSummary(t *testing.T) {
+	var h trace.Hist
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // bucket [4,8)
+	}
+	h.Observe(100) // bucket [64,128)
+	var sb strings.Builder
+	Hist(&sb, "latency", &h, 20)
+	out := sb.String()
+	if !strings.Contains(out, "latency: count=11") {
+		t.Errorf("missing summary line: %q", out)
+	}
+	if !strings.Contains(out, "[4,8)") || !strings.Contains(out, "[64,128)") {
+		t.Errorf("missing bucket labels: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want summary + 2 bucket rows, got %d:\n%s", len(lines), out)
+	}
+	if c := strings.Count(lines[1], "#"); c != 20 {
+		t.Errorf("modal bucket must fill the width, got %d hashes: %q", c, lines[1])
+	}
+	// A tiny-but-nonzero bucket must still render a visible mark.
+	if !strings.Contains(lines[2], "|") || len(strings.TrimSpace(strings.SplitN(lines[2], "|", 2)[1])) == 0 {
+		t.Errorf("nonzero bucket rendered empty: %q", lines[2])
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h trace.Hist
+	var sb strings.Builder
+	Hist(&sb, "empty", &h, 20)
+	if !strings.Contains(sb.String(), "(no samples)") {
+		t.Errorf("empty histogram must render a placeholder: %q", sb.String())
 	}
 }

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chrome streams the event stream in Chrome trace_event JSON ("JSON
+// object format"), so a run opens directly in chrome://tracing or
+// https://ui.perfetto.dev. One simulated cycle maps to one microsecond
+// of trace time; each pipeline stage gets its own lane (thread), plus a
+// counter track for DBB occupancy.
+type Chrome struct {
+	w     *bufio.Writer
+	c     io.Closer // underlying file, when the caller hands one over
+	first bool
+	err   error
+}
+
+// Chrome lane (thread) ids, one per pipeline stage.
+const (
+	chromePid   = 1
+	laneFetch   = 1
+	laneIssue   = 2
+	laneResolve = 3 // commit / mispredict / resolve-fire / squash
+	laneDBB     = 4
+	laneCache   = 5
+	laneFault   = 6
+)
+
+var chromeLaneNames = map[int]string{
+	laneFetch:   "fetch",
+	laneIssue:   "issue",
+	laneResolve: "resolve",
+	laneDBB:     "dbb",
+	laneCache:   "cache",
+	laneFault:   "fault",
+}
+
+// NewChrome builds a Chrome trace sink over w, writing the header and
+// lane-name metadata immediately. If w is also an io.Closer (a file),
+// Close closes it after the footer.
+func NewChrome(w io.Writer) *Chrome {
+	c := &Chrome{w: bufio.NewWriterSize(w, 1<<16), first: true}
+	if cl, ok := w.(io.Closer); ok {
+		c.c = cl
+	}
+	c.raw(`{"traceEvents":[`)
+	c.meta("process_name", chromePid, 0, "vanguard")
+	for tid := laneFetch; tid <= laneFault; tid++ {
+		c.meta("thread_name", chromePid, tid, chromeLaneNames[tid])
+	}
+	return c
+}
+
+func (c *Chrome) raw(s string) {
+	if c.err == nil {
+		_, c.err = c.w.WriteString(s)
+	}
+}
+
+func (c *Chrome) record(s string) {
+	if !c.first {
+		c.raw(",\n")
+	} else {
+		c.raw("\n")
+		c.first = false
+	}
+	c.raw(s)
+}
+
+func (c *Chrome) meta(name string, pid, tid int, value string) {
+	if tid == 0 {
+		c.record(fmt.Sprintf(`{"name":%q,"ph":"M","pid":%d,"args":{"name":%q}}`, name, pid, value))
+		return
+	}
+	c.record(fmt.Sprintf(`{"name":%q,"ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, name, pid, tid, value))
+}
+
+func chromeLane(k Kind) int {
+	switch k {
+	case KindFetch:
+		return laneFetch
+	case KindIssue:
+		return laneIssue
+	case KindCommit, KindSquash, KindMispredict, KindResolveFire:
+		return laneResolve
+	case KindDBBPush, KindDBBPop:
+		return laneDBB
+	case KindCacheMiss:
+		return laneCache
+	default:
+		return laneFault
+	}
+}
+
+// jsonEscape covers the instruction disassembly strings we embed (they
+// contain no control characters, but quote defensively anyway).
+func jsonEscape(s string) string {
+	if !strings.ContainsAny(s, `"\`) {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Emit implements Sink.
+func (c *Chrome) Emit(ev Event) {
+	name := ev.Kind.String()
+	if ev.Cause != CauseNone {
+		name = name + ":" + ev.Cause.String()
+	}
+	dur := int64(1)
+	if ev.Kind == KindCacheMiss && ev.Val > 0 {
+		dur = ev.Val
+	}
+	var args strings.Builder
+	fmt.Fprintf(&args, `"seq":%d,"pc":%d`, ev.Seq, ev.PC)
+	if ev.Ins.Op != 0 || ev.Kind == KindFetch || ev.Kind == KindIssue {
+		fmt.Fprintf(&args, `,"ins":"%s"`, jsonEscape(ev.Ins.String()))
+	}
+	if ev.Val != 0 {
+		fmt.Fprintf(&args, `,"val":%d`, ev.Val)
+	}
+	if ev.Addr != 0 {
+		fmt.Fprintf(&args, `,"addr":%d`, ev.Addr)
+	}
+	c.record(fmt.Sprintf(`{"name":%q,"cat":"pipeline","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{%s}}`,
+		name, ev.Cycle, dur, chromePid, chromeLane(ev.Kind), args.String()))
+	if ev.Kind == KindDBBPush || ev.Kind == KindDBBPop {
+		c.record(fmt.Sprintf(`{"name":"dbb occupancy","ph":"C","ts":%d,"pid":%d,"args":{"outstanding":%d}}`,
+			ev.Cycle, chromePid, ev.Val))
+	}
+}
+
+// Close writes the footer, flushes, and closes the underlying file if
+// the sink owns one.
+func (c *Chrome) Close() error {
+	c.raw("\n],\"displayTimeUnit\":\"ns\"}\n")
+	if err := c.w.Flush(); c.err == nil {
+		c.err = err
+	}
+	if c.c != nil {
+		if err := c.c.Close(); c.err == nil {
+			c.err = err
+		}
+	}
+	return c.err
+}

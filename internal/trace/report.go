@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Schema identifies the run-report wire format. Bump the suffix on any
+// incompatible change; additive changes (new counters, new hists) keep
+// the version.
+const Schema = "vanguard-telemetry/v1"
+
+// Report is the single machine-readable schema shared by every CLI's
+// -json flag: vgrun emits one benchmark with one timing run, spec emits
+// every benchmark of every suite, ablate emits sweeps. Consumers key on
+// Schema before trusting the rest.
+type Report struct {
+	Schema     string            `json:"schema"`
+	Tool       string            `json:"tool"`
+	Benchmarks []*BenchReport    `json:"benchmarks,omitempty"`
+	Ablations  []*AblationReport `json:"ablations,omitempty"`
+}
+
+// NewReport builds an empty report for the named tool.
+func NewReport(tool string) *Report {
+	return &Report{Schema: Schema, Tool: tool}
+}
+
+// BenchReport is one benchmark's measurements: the transform summary (if
+// the decomposed branch transformation ran) and one RunReport per
+// (label, input, width) timing run.
+type BenchReport struct {
+	Name      string           `json:"name"`
+	Suite     string           `json:"suite,omitempty"`
+	Transform *TransformReport `json:"transform,omitempty"`
+	Runs      []*RunReport     `json:"runs"`
+}
+
+// TransformReport summarizes one program's decomposed branch
+// transformation (the core.Report fields downstream tooling needs).
+type TransformReport struct {
+	Converted     int            `json:"converted"`
+	ForwardStatic int            `json:"forward_static"`
+	PBCPct        float64        `json:"pbc_pct"`
+	PISCSPct      float64        `json:"piscs_pct"`
+	StaticBefore  int            `json:"static_before"`
+	StaticAfter   int            `json:"static_after"`
+	Branches      []BranchReport `json:"branches,omitempty"`
+}
+
+// BranchReport is one converted branch.
+type BranchReport struct {
+	ID             int     `json:"id"`
+	Bias           float64 `json:"bias"`
+	Predictability float64 `json:"predictability"`
+	Execs          int64   `json:"execs"`
+	SlicePushed    int     `json:"slice_pushed"`
+	Hoisted        int     `json:"hoisted"`
+	Temps          int     `json:"temps"`
+}
+
+// RunReport is one timing run: scalar counters, derived rates, and the
+// latency/occupancy histograms. Counter and histogram names are stable
+// snake_case keys (see DESIGN.md's Observability section).
+type RunReport struct {
+	Label    string             `json:"label,omitempty"` // "base" | "exp" | "timing"
+	Input    string             `json:"input,omitempty"`
+	Width    int                `json:"width"`
+	Counters map[string]int64   `json:"counters"`
+	Rates    map[string]float64 `json:"rates,omitempty"`
+	Hists    map[string]*Hist   `json:"hists,omitempty"`
+}
+
+// AblationReport is one sweep of a design parameter.
+type AblationReport struct {
+	Title  string          `json:"title"`
+	Points []AblationPoint `json:"points"`
+}
+
+// AblationPoint is one configuration of a sweep.
+type AblationPoint struct {
+	Label      string  `json:"label"`
+	SpeedupPct float64 `json:"speedup_pct"`
+}
+
+// Write renders the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report and verifies its schema tag.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.Schema != Schema {
+		return nil, &SchemaError{Got: r.Schema}
+	}
+	return &r, nil
+}
+
+// SchemaError reports a schema-tag mismatch.
+type SchemaError struct{ Got string }
+
+func (e *SchemaError) Error() string {
+	return "trace: report schema " + e.Got + " (want " + Schema + ")"
+}

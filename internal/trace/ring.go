@@ -1,0 +1,59 @@
+package trace
+
+// Ring is a bounded in-memory sink keeping the most recent events for
+// post-mortem inspection: attach one cheaply to every run and dump it
+// only when something goes wrong (vgrun does exactly this for deferred
+// faults).
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewRing builds a ring holding the last n events (n <= 0 defaults to 256).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 256
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.wrapped = 0, true
+	}
+}
+
+// Close implements Sink.
+func (r *Ring) Close() error { return nil }
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped returns how many events were overwritten after the ring filled.
+func (r *Ring) Dropped() int64 { return r.dropped }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,140 @@
+// Package trace is the simulator's structured telemetry layer: typed
+// per-instruction lifecycle events fanned out to pluggable sinks, small
+// power-of-two histograms for latency/occupancy distributions, and the
+// machine-readable run-report schema every CLI's -json flag emits.
+//
+// The pipeline publishes one Event per interesting micro-architectural
+// occurrence (fetch, issue, commit, squash, misprediction, resolve
+// firing, DBB push/pop, cache miss, deferred fault). Sinks decide what to
+// do with the stream: Ring keeps a bounded post-mortem buffer, Text
+// renders human-readable lines (the vgrun -trace format), and Chrome
+// writes Chrome trace_event JSON that opens directly in chrome://tracing
+// or Perfetto with one lane per pipeline stage. With no sink attached the
+// event path is a single nil check; histograms are always recorded.
+package trace
+
+import "vanguard/internal/isa"
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+// Event kinds, in rough pipeline order.
+const (
+	KindFetch       Kind = iota // instruction entered the fetch buffer
+	KindIssue                   // instruction issued to a functional unit
+	KindCommit                  // speculation point resolved cleanly
+	KindSquash                  // flush discarded younger work
+	KindMispredict              // speculation point resolved wrong
+	KindResolveFire             // RESOLVE fired (decomposed-branch repair)
+	KindDBBPush                 // PREDICT inserted a DBB entry
+	KindDBBPop                  // RESOLVE consumed its DBB entry
+	KindCacheMiss               // L1 miss (instruction or data side)
+	KindFault                   // deferred fault reached commit
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"fetch", "issue", "commit", "squash", "mispredict",
+	"resolve-fire", "dbb-push", "dbb-pop", "cache-miss", "fault",
+}
+
+// String returns the kind's wire name (used in text and JSON output).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Cause qualifies an event with what provoked it.
+type Cause uint8
+
+// Causes.
+const (
+	CauseNone      Cause = iota
+	CauseBranch          // BR direction misprediction
+	CauseResolve         // decomposed-branch RESOLVE firing
+	CauseReturn          // RAS target misprediction
+	CauseException       // injected exceptional control flow
+	CauseICache          // instruction-side L1 miss
+	CauseDCache          // data-side L1 miss
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	"", "branch", "resolve", "return", "exception", "icache", "dcache",
+}
+
+// String returns the cause's wire name ("" for CauseNone).
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return "unknown"
+}
+
+// Event is one structured telemetry record. Cycle, Seq and PC identify
+// when and where; Cause and the kind-specific payload fields say why.
+type Event struct {
+	Kind  Kind
+	Cause Cause
+	Cycle int64
+	Seq   int64 // dynamic instruction sequence number (-1 when n/a)
+	PC    int   // instruction PC (image index)
+	Ins   isa.Instr
+
+	// Val is the kind-specific payload: redirect PC for Mispredict and
+	// ResolveFire, number of squashed instructions for Squash, DBB
+	// occupancy after the operation for DBBPush/Pop, and stall cycles for
+	// CacheMiss.
+	Val int64
+	// Addr is the memory address for CacheMiss and Fault events.
+	Addr uint64
+}
+
+// Sink receives the event stream. Emit must be cheap: the pipeline calls
+// it from the simulated hot path. Close flushes any buffered output.
+type Sink interface {
+	Emit(ev Event)
+	Close() error
+}
+
+// tee fans one stream out to several sinks.
+type tee []Sink
+
+// Tee returns a sink that forwards every event to each of sinks (nils
+// are skipped). With fewer than two live sinks it returns the obvious
+// degenerate answer.
+func Tee(sinks ...Sink) Sink {
+	var live tee
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// Emit implements Sink.
+func (t tee) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// Close implements Sink, returning the first error.
+func (t tee) Close() error {
+	var first error
+	for _, s := range t {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
