@@ -32,8 +32,24 @@ check: fmt vet build race
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# Regenerate the committed telemetry baselines under results/.
-results: build
-	$(GO) run ./cmd/vgrun -no-hists -width 2 -json results/dotproduct_w2.json -transform examples/asm/dotproduct.s
-	$(GO) run ./cmd/vgrun -no-hists -width 4 -json results/dotproduct_w4.json -transform examples/asm/dotproduct.s
-	$(GO) run ./cmd/vgrun -no-hists -width 8 -json results/dotproduct_w8.json -transform examples/asm/dotproduct.s
+# Regenerate the committed telemetry baselines under results/ through the
+# experiment engine, then fail if they drifted from the committed files.
+# Wall-clock lines (the report's only nondeterministic field) are excluded
+# from the comparison; -no-cache keeps the hit/miss counters at zero so the
+# engine section itself is reproducible. On drift, the regenerated files
+# replace the stale baselines so they can be reviewed and committed.
+results: build vet
+	@drift=0; \
+	for w in 2 4 8; do \
+		$(GO) run ./cmd/vgrun -no-hists -no-cache -width $$w \
+			-json results/.regen_w$$w.json -transform examples/asm/dotproduct.s >/dev/null || exit 1; \
+		if ! diff -u -I '"wall_ms"' results/dotproduct_w$$w.json results/.regen_w$$w.json; then \
+			drift=1; \
+		fi; \
+		mv results/.regen_w$$w.json results/dotproduct_w$$w.json; \
+	done; \
+	if [ $$drift -ne 0 ]; then \
+		echo "results: baselines drifted from committed files (regenerated copies left in place)"; \
+		exit 1; \
+	fi; \
+	echo "results: baselines regenerated through the engine, no drift"

@@ -201,6 +201,33 @@ func BenchmarkSec61CodeSizeICache(b *testing.B) {
 	}
 }
 
+// benchEngineSuite runs the reduced-input int2006 suite through the
+// experiment engine at a fixed worker count, reporting the unit count so
+// the per-unit cost is comparable across variants.
+func benchEngineSuite(b *testing.B, jobs int) {
+	b.Helper()
+	o := harness.FastOptions()
+	o.Jobs = jobs
+	for i := 0; i < b.N; i++ {
+		es := &harness.EngineStats{}
+		o.EngineStats = es
+		if _, err := harness.RunSuite("int2006", o); err != nil {
+			b.Fatal(err)
+		}
+		rep := es.Report()
+		b.ReportMetric(float64(rep.Units), "units")
+		b.ReportMetric(float64(rep.Jobs), "workers")
+	}
+}
+
+// BenchmarkEngineSuiteJobs1 and BenchmarkEngineSuiteJobsMax compare the
+// same engine job set at one worker vs GOMAXPROCS workers. On a
+// multi-core machine the Max variant's wall time should approach
+// jobs1/GOMAXPROCS; on one core the pair bounds the worker pool's
+// scheduling overhead (the two times should match).
+func BenchmarkEngineSuiteJobs1(b *testing.B)   { benchEngineSuite(b, 1) }
+func BenchmarkEngineSuiteJobsMax(b *testing.B) { benchEngineSuite(b, 0) }
+
 // BenchmarkTable1Machine measures raw simulator throughput on the Table 1
 // configuration — cycles simulated per second on a representative
 // benchmark — so substrate performance regressions are visible.

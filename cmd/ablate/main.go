@@ -1,8 +1,9 @@
 // Command ablate runs the design-choice ablations DESIGN.md calls out:
 // the 5% selection threshold, the hoisting depth, the 16-entry DBB, and
-// the condition-slice push-down.
+// the condition-slice push-down. Every sweep's full (point x benchmark)
+// matrix executes on the experiment engine's worker pool.
 //
-//	ablate -sweep gap|hoist|dbb|slice|all [-fast] [-json out.json]
+//	ablate -sweep gap|hoist|dbb|slice|all [-fast] [-jobs N] [-json out.json]
 package main
 
 import (
@@ -10,22 +11,38 @@ import (
 	"log"
 	"os"
 
+	"vanguard/internal/engine"
 	"vanguard/internal/harness"
-	"vanguard/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablate: ")
-	sweep := flag.String("sweep", "all", "gap | hoist | dbb | slice | all")
-	fast := flag.Bool("fast", false, "reduced inputs")
-	jsonF := flag.String("json", "", "also write the sweeps as a structured telemetry report to this file")
+	var (
+		sweep    = flag.String("sweep", "all", "gap | hoist | dbb | slice | all")
+		fast     = flag.Bool("fast", false, "reduced inputs")
+		jsonF    = flag.String("json", "", "also write the sweeps as a structured telemetry report to this file")
+		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the on-disk run cache")
+	)
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	if *fast {
-		o.TrainInput = workload.Input{Seed: 101, Iters: 800}
-		o.RefInputs = []workload.Input{{Seed: 202, Iters: 1000}}
+		o = harness.FastOptions()
+		o.RefInputs = o.RefInputs[:1]
+	}
+	es := &harness.EngineStats{}
+	o.Jobs = *jobs
+	o.EngineStats = es
+	if !*noCache && *cacheDir != "" {
+		c, err := engine.Open(*cacheDir)
+		if err != nil {
+			log.Printf("warning: run cache disabled: %v", err)
+		} else {
+			o.Cache = c
+		}
 	}
 	names := harness.AblationBenchmarks()
 
@@ -69,9 +86,11 @@ func main() {
 	}
 	if *jsonF != "" {
 		rep := harness.AblationJSON("ablate", sweeps, order)
+		rep.Engine = es.Report()
 		if err := rep.WriteFile(*jsonF); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonF)
 	}
+	log.Printf("engine: %s", es.Summary())
 }

@@ -5,6 +5,9 @@
 //	figures -fig 3            predictability vs bias, SPEC 2006 FP
 //	figures -sensitivity      Section 5.3 predictor ladder on the four
 //	                          hard-to-predict integer benchmarks
+//
+// Profiling and simulation run on the experiment engine (-jobs bounds the
+// worker pool; -cache-dir/-no-cache control the on-disk run cache).
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"vanguard/internal/engine"
 	"vanguard/internal/harness"
 	"vanguard/internal/textplot"
 	"vanguard/internal/workload"
@@ -26,6 +30,9 @@ func main() {
 		sensitivity = flag.Bool("sensitivity", false, "run the Section 5.3 predictor ladder")
 		fast        = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
 		plot        = flag.Bool("plot", false, "render ASCII charts instead of tables")
+		jobs        = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
+		noCache     = flag.Bool("no-cache", false, "disable the on-disk run cache")
 	)
 	flag.Parse()
 
@@ -33,9 +40,20 @@ func main() {
 	o := harness.DefaultOptions()
 	if *fast {
 		in.Iters = 1200
-		o.TrainInput = workload.Input{Seed: 101, Iters: 800}
-		o.RefInputs = []workload.Input{{Seed: 202, Iters: 1000}}
+		o = harness.FastOptions()
+		o.RefInputs = o.RefInputs[:1]
 		o.Widths = []int{4}
+	}
+	es := &harness.EngineStats{}
+	o.Jobs = *jobs
+	o.EngineStats = es
+	if !*noCache && *cacheDir != "" {
+		c, err := engine.Open(*cacheDir)
+		if err != nil {
+			log.Printf("warning: run cache disabled: %v", err)
+		} else {
+			o.Cache = c
+		}
 	}
 
 	switch {
@@ -44,7 +62,7 @@ func main() {
 		if *fig == 3 {
 			suite, title = "fp2006", "Figure 3: predictability vs bias, top forward branches, SPEC 2006 FP"
 		}
-		cur, err := harness.BiasPredictabilityCurve(suite, in)
+		cur, err := harness.BiasPredictabilityCurveOpts(suite, in, o)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,4 +83,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -fig 2, -fig 3, or -sensitivity")
 		os.Exit(2)
 	}
+	log.Printf("engine: %s", es.Summary())
 }

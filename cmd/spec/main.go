@@ -8,7 +8,12 @@
 //	spec -json out.json     structured telemetry report for all suites
 //	spec -all               all of the above to stdout
 //
-// Use -fast for a quick smoke run with reduced inputs.
+// Use -fast for a quick smoke run with reduced inputs. Simulations run on
+// the experiment engine: -jobs bounds the worker pool, and the
+// content-keyed run cache (-cache-dir, -no-cache) reuses simulation
+// results across tables, figures, and invocations. Output is byte-stable
+// for any -jobs value; only the engine section of -json reports (wall
+// times, hit counts) varies.
 package main
 
 import (
@@ -17,48 +22,52 @@ import (
 	"log"
 	"os"
 
+	"vanguard/internal/engine"
 	"vanguard/internal/harness"
 	"vanguard/internal/textplot"
 	"vanguard/internal/workload"
 )
 
-func options(fast bool) harness.Options {
-	o := harness.DefaultOptions()
-	if fast {
-		o.TrainInput = workload.Input{Seed: 101, Iters: 800}
-		o.RefInputs = []workload.Input{{Seed: 202, Iters: 1000}, {Seed: 303, Iters: 1000}}
-	}
-	return o
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spec: ")
 	var (
-		table  = flag.Int("table", 0, "regenerate a table (2)")
-		fig    = flag.Int("fig", 0, "regenerate a figure (8-14)")
-		icache = flag.Bool("icache", false, "run the Section 6.1 I-cache study")
-		csv    = flag.String("csv", "", "write CSV results for all suites to a file")
-		jsonF  = flag.String("json", "", "write a structured telemetry report for all suites to a file")
-		report = flag.String("report", "", "write a consolidated markdown report for all suites to a file")
-		all    = flag.Bool("all", false, "run every table and figure")
-		fast   = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
-		plot   = flag.Bool("plot", false, "also render speedup figures as ASCII bar charts")
+		table    = flag.Int("table", 0, "regenerate a table (2)")
+		fig      = flag.Int("fig", 0, "regenerate a figure (8-14)")
+		icache   = flag.Bool("icache", false, "run the Section 6.1 I-cache study")
+		csv      = flag.String("csv", "", "write CSV results for all suites to a file")
+		jsonF    = flag.String("json", "", "write a structured telemetry report for all suites to a file")
+		report   = flag.String("report", "", "write a consolidated markdown report for all suites to a file")
+		all      = flag.Bool("all", false, "run every table and figure")
+		fast     = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
+		plot     = flag.Bool("plot", false, "also render speedup figures as ASCII bar charts")
+		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the on-disk run cache")
 	)
 	flag.Parse()
-	o := options(*fast)
-
-	cache := map[string][]*harness.BenchResult{}
-	suite := func(name string) []*harness.BenchResult {
-		if rs, ok := cache[name]; ok {
-			return rs
+	o := harness.DefaultOptions()
+	if *fast {
+		o = harness.FastOptions()
+	}
+	es := &harness.EngineStats{}
+	o.Jobs = *jobs
+	o.EngineStats = es
+	if !*noCache && *cacheDir != "" {
+		c, err := engine.Open(*cacheDir)
+		if err != nil {
+			log.Printf("warning: run cache disabled: %v", err)
+		} else {
+			o.Cache = c
 		}
-		log.Printf("running suite %s (%d benchmarks, widths %v)...", name, len(workload.Suite(name)), o.Widths)
-		rs, err := harness.RunSuite(name, o)
+	}
+
+	sc := harness.NewSuiteCache(o)
+	suite := func(name string) []*harness.BenchResult {
+		rs, err := sc.Suite(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cache[name] = rs
 		return rs
 	}
 
@@ -157,15 +166,9 @@ func main() {
 		for _, s := range workload.AllSuites() {
 			all = append(all, suite(s)...)
 		}
-		f, err := os.Create(*jsonF)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := harness.WriteJSON(f, "spec", all); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		rep := harness.JSONReport("spec", all)
+		rep.Engine = es.Report()
+		if err := rep.WriteFile(*jsonF); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonF)
@@ -189,4 +192,5 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	log.Printf("engine: %s", es.Summary())
 }

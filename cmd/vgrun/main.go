@@ -9,12 +9,16 @@
 //	vgrun -json out.json prog.s       # machine-readable telemetry report
 //	vgrun -chrome-trace t.json prog.s # timeline for chrome://tracing / Perfetto
 //
-// If the timing run halts on a deferred architectural fault, vgrun exits
-// non-zero after dumping the last pipeline lifecycle events leading up to
-// the fault (an always-on bounded ring buffer records them).
+// The timing run executes as an experiment-engine unit, so repeated
+// invocations on an unchanged program are served from the content-keyed
+// run cache (-cache-dir, -no-cache); event tracing flags force a live
+// run. If the timing run halts on a deferred architectural fault, vgrun
+// exits non-zero after dumping the last pipeline lifecycle events leading
+// up to the fault (an always-on bounded ring buffer records them).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +26,7 @@ import (
 
 	"vanguard/internal/asm"
 	"vanguard/internal/core"
+	"vanguard/internal/engine"
 	"vanguard/internal/interp"
 	"vanguard/internal/ir"
 	"vanguard/internal/mem"
@@ -45,6 +50,9 @@ func main() {
 		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+") to this file")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace_event timeline (open in chrome://tracing or ui.perfetto.dev) to this file")
 		noHists   = flag.Bool("no-hists", false, "suppress the ASCII histograms in the text report")
+		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
+		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -87,40 +95,71 @@ func main() {
 	fmt.Printf("functional: %d instructions, %d branches (%d taken), halted=%v\n",
 		fstats.Instrs, fstats.Branches, fstats.Taken, gst.Halted)
 
-	mach := pipeline.New(im, mem.New(), pipeline.DefaultConfig(*width))
-
-	// An always-on bounded ring keeps the most recent lifecycle events so
-	// a failing run can explain itself post mortem.
-	ring := trace.NewRing(64)
-	sinks := []trace.Sink{ring}
-	if *doTrace || *traceAll {
-		sinks = append(sinks, &trace.Text{W: os.Stderr, All: *traceAll})
-	}
-	var chrome *trace.Chrome
-	if *chromeOut != "" {
-		f, err := os.Create(*chromeOut)
-		if err != nil {
-			log.Fatal(err)
+	var cache *engine.Cache
+	if !*noCache && *cacheDir != "" {
+		if c, err := engine.Open(*cacheDir); err != nil {
+			log.Printf("warning: run cache disabled: %v", err)
+		} else {
+			cache = c
 		}
-		chrome = trace.NewChrome(f)
-		sinks = append(sinks, chrome)
 	}
-	mach.Sink = trace.Tee(sinks...)
+	// Event tracing needs a live machine, so those runs bypass the cache;
+	// so do cache hits skip the memory cross-check (the run was verified
+	// when its result was computed and stored).
+	tracing := *doTrace || *traceAll || *chromeOut != ""
+	key := ""
+	if !tracing {
+		key = engine.Key("vgrun/v1", string(src), *width, *transform, *maxInstrs)
+	}
 
-	st, simErr := mach.Run()
-	if chrome != nil {
-		if err := chrome.Close(); err != nil {
-			log.Fatalf("chrome trace: %v", err)
+	runTiming := func(context.Context) (*pipeline.Stats, error) {
+		mach := pipeline.New(im, mem.New(), pipeline.DefaultConfig(*width))
+
+		// An always-on bounded ring keeps the most recent lifecycle events
+		// so a failing run can explain itself post mortem.
+		ring := trace.NewRing(64)
+		sinks := []trace.Sink{ring}
+		if *doTrace || *traceAll {
+			sinks = append(sinks, &trace.Text{W: os.Stderr, All: *traceAll})
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
+		var chrome *trace.Chrome
+		if *chromeOut != "" {
+			f, err := os.Create(*chromeOut)
+			if err != nil {
+				return nil, err
+			}
+			chrome = trace.NewChrome(f)
+			sinks = append(sinks, chrome)
+		}
+		mach.Sink = trace.Tee(sinks...)
+
+		st, simErr := mach.Run()
+		if chrome != nil {
+			if err := chrome.Close(); err != nil {
+				return nil, fmt.Errorf("chrome trace: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *chromeOut)
+		}
+		if simErr != nil {
+			fmt.Fprintf(os.Stderr, "last %d pipeline events before the failure:\n", ring.Len())
+			trace.WriteEvents(os.Stderr, ring.Events())
+			return nil, simErr
+		}
+		if !mach.Memory().Equal(gm) {
+			return nil, fmt.Errorf("timing simulation diverged from the golden model")
+		}
+		return st, nil
 	}
-	if simErr != nil {
-		fmt.Fprintf(os.Stderr, "last %d pipeline events before the failure:\n", ring.Len())
-		trace.WriteEvents(os.Stderr, ring.Events())
-		log.Fatalf("simulate: %v", simErr)
+
+	results, est, err := engine.Run(context.Background(),
+		engine.Config{Jobs: *jobs, Cache: cache},
+		[]engine.Unit[*pipeline.Stats]{{Label: "timing/" + flag.Arg(0), Key: key, Run: runTiming}})
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
 	}
-	if !mach.Memory().Equal(gm) {
-		log.Fatal("timing simulation diverged from the golden model")
+	st := results[0]
+	if est.Units[0].CacheHit {
+		fmt.Fprintf(os.Stderr, "timing run served from the run cache (%s)\n", cache.Dir())
 	}
 	fmt.Printf("timing:     %d cycles, IPC %.3f, %d issued (%d wrong-path), MPKI %.2f\n",
 		st.Cycles, st.IPC(), st.Issued, st.WrongPathIssued, st.MPKI())
@@ -148,6 +187,13 @@ func main() {
 		}
 		bench.Runs = append(bench.Runs, st.RunReport("timing", *width))
 		report.Benchmarks = append(report.Benchmarks, bench)
+		report.Engine = &trace.EngineReport{
+			Jobs:        est.Jobs,
+			Units:       len(est.Units),
+			CacheHits:   est.CacheHits,
+			CacheMisses: est.CacheMisses,
+			WallMS:      est.Wall.Seconds() * 1000,
+		}
 		if err := report.WriteFile(*jsonOut); err != nil {
 			log.Fatalf("json report: %v", err)
 		}

@@ -1,0 +1,180 @@
+// Package engine executes experiment units — self-describing, independent
+// pieces of simulation work — on a bounded worker pool with deterministic
+// aggregation and an optional content-keyed on-disk result cache.
+//
+// The harness enumerates every (benchmark, input, width, binary)
+// simulation of the paper's evaluation as one Unit; the engine schedules
+// them across workers, propagates the first error (cancelling the feed of
+// further units), and returns results indexed by enumeration order, so
+// downstream tables and JSON reports are byte-stable regardless of how
+// the units interleaved at run time.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Unit is one schedulable piece of work producing a T.
+type Unit[T any] struct {
+	// Label identifies the unit in telemetry (unique within a run).
+	Label string
+	// Key is the content key for the run cache: two units with equal keys
+	// must compute equal results. Empty disables caching for this unit
+	// (e.g. work that depends on an un-hashable closure or attaches
+	// side-effecting trace sinks).
+	Key string
+	// Run computes the result. The context is cancelled after the first
+	// unit error; in-flight units run to completion, but no further units
+	// start.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Config is the execution policy of one engine run.
+type Config struct {
+	// Jobs bounds the worker pool; <= 0 selects GOMAXPROCS.
+	Jobs int
+	// Cache, when non-nil, short-circuits units whose Key has a stored
+	// result and stores newly computed ones. Results round-trip through
+	// JSON, so T must marshal losslessly enough for downstream use.
+	Cache *Cache
+}
+
+// UnitStat records how one unit executed.
+type UnitStat struct {
+	Label    string
+	Wall     time.Duration
+	CacheHit bool
+}
+
+// Stats summarizes one engine run.
+type Stats struct {
+	// Jobs is the effective worker count (after clamping to the unit count).
+	Jobs int
+	// Wall is the end-to-end run duration.
+	Wall time.Duration
+	// Units holds per-unit stats in enumeration order.
+	Units []UnitStat
+	// CacheHits / CacheMisses count cacheable units served from / written
+	// to the cache during this run.
+	CacheHits, CacheMisses int
+}
+
+// Run executes the units on cfg.Jobs workers and returns their results in
+// enumeration order. On error it returns the failure of the
+// lowest-indexed failing unit observed; results are then incomplete and
+// must not be used. Unit results are independent slots, so the returned
+// slice is identical for any worker count.
+func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, error) {
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(units) {
+		jobs = len(units)
+	}
+	st := Stats{Jobs: jobs, Units: make([]UnitStat, len(units))}
+	if len(units) == 0 {
+		return nil, st, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]T, len(units))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		hits     int
+		misses   int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	runUnit := func(i int) {
+		u := units[i]
+		t0 := time.Now()
+		done := func(hit bool) {
+			st.Units[i] = UnitStat{Label: u.Label, Wall: time.Since(t0), CacheHit: hit}
+		}
+		cacheable := cfg.Cache != nil && u.Key != ""
+		if cacheable {
+			if data, ok := cfg.Cache.Get(u.Key); ok {
+				var v T
+				if err := json.Unmarshal(data, &v); err == nil {
+					results[i] = v
+					mu.Lock()
+					hits++
+					mu.Unlock()
+					done(true)
+					return
+				}
+				// A corrupt entry is treated as a miss and recomputed.
+			}
+		}
+		if ctx.Err() != nil {
+			done(false)
+			return
+		}
+		v, err := u.Run(ctx)
+		if err != nil {
+			fail(i, fmt.Errorf("%s: %w", u.Label, err))
+			done(false)
+			return
+		}
+		results[i] = v
+		if cacheable {
+			if data, err := json.Marshal(v); err == nil {
+				cfg.Cache.Put(u.Key, data)
+			}
+			mu.Lock()
+			misses++
+			mu.Unlock()
+		}
+		done(false)
+	}
+
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runUnit(i)
+			}
+		}()
+	}
+feed:
+	for i := range units {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	st.Wall = time.Since(start)
+	st.CacheHits, st.CacheMisses = hits, misses
+	if firstErr != nil {
+		return nil, st, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+	return results, st, nil
+}

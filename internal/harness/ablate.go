@@ -29,55 +29,62 @@ func AblationBenchmarks() []string {
 	return []string{"h264ref", "omnetpp", "mcf", "povray"}
 }
 
-// geomeanOver runs the given benchmarks under o and returns the geomean
-// width-4 speedup.
-func geomeanOver(names []string, o Options) (float64, error) {
-	var ss []float64
-	for _, n := range names {
-		c, ok := workload.ByName(n)
-		if !ok {
-			return 0, fmt.Errorf("unknown benchmark %q", n)
+// sweep runs |points| x |names| benchmark measurements as ONE engine job
+// set — every simulation of the whole sweep shares the worker pool — and
+// returns the geomean width-4 speedup per point, labelled.
+func sweep(names []string, points []Options, labels []string) ([]AblationPoint, error) {
+	var jobs []*benchJob
+	for _, o := range points {
+		for _, n := range names {
+			c, ok := workload.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %q", n)
+			}
+			jobs = append(jobs, newBenchJob(c, o))
 		}
-		r, err := RunBenchmark(c, o)
-		if err != nil {
-			return 0, err
-		}
-		ss = append(ss, r.SpeedupAllRefsPct(4))
 	}
-	return metrics.GeomeanSpeedupPct(ss), nil
+	rs, err := runBenchJobs(jobs, points[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AblationPoint, len(points))
+	for pi := range points {
+		var ss []float64
+		for ni := range names {
+			ss = append(ss, rs[pi*len(names)+ni].SpeedupAllRefsPct(4))
+		}
+		out[pi] = AblationPoint{Label: labels[pi], SpeedupPct: metrics.GeomeanSpeedupPct(ss)}
+	}
+	return out, nil
 }
 
 // SweepMinGap sweeps the selection threshold (paper: 5% is best).
 func SweepMinGap(names []string, base Options, gaps []float64) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []Options
+	var labels []string
 	for _, g := range gaps {
 		o := base
 		o.Widths = []int{4}
 		o.Core.MinGap = g
-		s, err := geomeanOver(names, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Label: fmt.Sprintf("gap>=%.0f%%", g*100), SpeedupPct: s})
+		points = append(points, o)
+		labels = append(labels, fmt.Sprintf("gap>=%.0f%%", g*100))
 	}
-	return out, nil
+	return sweep(names, points, labels)
 }
 
 // SweepMaxHoist sweeps the hoisting depth; MaxHoist=0 isolates the benefit
 // of the decomposition itself (earlier prediction point) from scheduling.
 func SweepMaxHoist(names []string, base Options, depths []int) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []Options
+	var labels []string
 	for _, d := range depths {
 		o := base
 		o.Widths = []int{4}
 		o.Core.MaxHoist = d
-		s, err := geomeanOver(names, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Label: fmt.Sprintf("hoist<=%d", d), SpeedupPct: s})
+		points = append(points, o)
+		labels = append(labels, fmt.Sprintf("hoist<=%d", d))
 	}
-	return out, nil
+	return sweep(names, points, labels)
 }
 
 // SweepDBBSize sweeps the Decomposed Branch Buffer depth. Undersized DBBs
@@ -85,39 +92,35 @@ func SweepMaxHoist(names []string, base Options, depths []int) ([]AblationPoint,
 // entries — accuracy (and speedup) degrade, exactly why the paper sized it
 // by measuring occupancy.
 func SweepDBBSize(names []string, base Options, sizes []int) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []Options
+	var labels []string
 	for _, n := range sizes {
 		o := base
 		o.Widths = []int{4}
 		o.DBBEntries = n
-		s, err := geomeanOver(names, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationPoint{Label: fmt.Sprintf("dbb=%d", n), SpeedupPct: s})
+		points = append(points, o)
+		labels = append(labels, fmt.Sprintf("dbb=%d", n))
 	}
-	return out, nil
+	return sweep(names, points, labels)
 }
 
 // SlicePushdownAblation compares the full transformation against one with
 // the condition-slice push-down disabled.
 func SlicePushdownAblation(names []string, base Options) ([]AblationPoint, error) {
-	var out []AblationPoint
+	var points []Options
+	var labels []string
 	for _, off := range []bool{false, true} {
 		o := base
 		o.Widths = []int{4}
 		o.Core.NoSlicePushdown = off
-		s, err := geomeanOver(names, o)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, o)
 		label := "slice push-down ON"
 		if off {
 			label = "slice push-down OFF"
 		}
-		out = append(out, AblationPoint{Label: label, SpeedupPct: s})
+		labels = append(labels, label)
 	}
-	return out, nil
+	return sweep(names, points, labels)
 }
 
 // WriteAblation renders a sweep.

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"vanguard/internal/bpred"
+	"vanguard/internal/engine"
+	"vanguard/internal/trace"
+	"vanguard/internal/workload"
+)
+
+// reportBytes renders a JSON report with the engine section stripped —
+// everything that is allowed to vary between runs lives there.
+func reportBytes(t *testing.T, rs []*BenchResult) []byte {
+	t.Helper()
+	rep := JSONReport("test", rs)
+	rep.Engine = nil
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJobsDifferential: the same suite run serially and on eight workers
+// must produce byte-identical reports (modulo the engine section). This is
+// the determinism guarantee the engine's ordered aggregation provides; it
+// runs under -race in `make check`, doubling as the concurrency audit of
+// the shared build artifacts.
+func TestJobsDifferential(t *testing.T) {
+	cs := []workload.Config{}
+	for _, name := range []string{"h264ref", "milc", "gobmk"} {
+		c, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %q", name)
+		}
+		cs = append(cs, c)
+	}
+
+	o1 := fastOptions()
+	o1.Jobs = 1
+	es1 := &EngineStats{}
+	o1.EngineStats = es1
+	r1, err := RunBenchmarks(cs, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o8 := fastOptions()
+	o8.Jobs = 8
+	es8 := &EngineStats{}
+	o8.EngineStats = es8
+	r8, err := RunBenchmarks(cs, o8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b1, b8 := reportBytes(t, r1), reportBytes(t, r8)
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("-jobs=1 and -jobs=8 reports differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", b1, b8)
+	}
+
+	// The engine section still records what actually happened.
+	rep1, rep8 := es1.Report(), es8.Report()
+	if rep1.Jobs != 1 {
+		t.Errorf("jobs=1 run reported %d workers", rep1.Jobs)
+	}
+	if rep8.Jobs < 2 {
+		t.Errorf("jobs=8 run reported %d workers, want >= 2", rep8.Jobs)
+	}
+	if rep1.Units != rep8.Units {
+		t.Errorf("unit counts differ: %d vs %d", rep1.Units, rep8.Units)
+	}
+	if len(rep1.UnitWall) != rep1.Units {
+		t.Errorf("unit wall list has %d entries, want %d", len(rep1.UnitWall), rep1.Units)
+	}
+	for i := range rep1.UnitWall {
+		if rep1.UnitWall[i].Label != rep8.UnitWall[i].Label {
+			t.Fatalf("unit %d labels differ across jobs counts: %q vs %q",
+				i, rep1.UnitWall[i].Label, rep8.UnitWall[i].Label)
+		}
+	}
+}
+
+// TestWarmCache: a second run over a shared cache directory reports hits
+// for every timing simulation and produces identical results.
+func TestWarmCache(t *testing.T) {
+	cache, err := engine.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := workload.ByName("libquantum")
+
+	run := func() ([]*BenchResult, *trace.EngineReport) {
+		o := fastOptions()
+		o.Cache = cache
+		es := &EngineStats{}
+		o.EngineStats = es
+		rs, err := RunBenchmarks([]workload.Config{c}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs, es.Report()
+	}
+
+	cold, coldRep := run()
+	if coldRep.CacheHits != 0 {
+		t.Fatalf("cold run reported %d hits", coldRep.CacheHits)
+	}
+	if coldRep.CacheMisses == 0 {
+		t.Fatal("cold run stored nothing in the cache")
+	}
+
+	warm, warmRep := run()
+	if warmRep.CacheHits == 0 {
+		t.Fatal("warm run reported no cache hits")
+	}
+	if warmRep.CacheHits != coldRep.CacheMisses {
+		t.Errorf("warm hits %d != cold misses %d", warmRep.CacheHits, coldRep.CacheMisses)
+	}
+	if warmRep.CacheMisses != 0 {
+		t.Errorf("warm run still missed %d units", warmRep.CacheMisses)
+	}
+	if !bytes.Equal(reportBytes(t, cold), reportBytes(t, warm)) {
+		t.Error("cached results differ from computed results")
+	}
+}
+
+// TestAnonymousPredictorBypassesCache: a NewPredictor closure without a
+// PredictorName cannot be hashed into a key, so those runs must never be
+// served from (or stored in) the cache.
+func TestAnonymousPredictorBypassesCache(t *testing.T) {
+	c, _ := workload.ByName("libquantum")
+	o := fastOptions()
+	o.NewPredictor = func() bpred.DirPredictor { return bpred.NewDefault() }
+	o.PredictorName = ""
+	in := o.RefInputs[0]
+	if key := newBenchJob(c, o).simKey(in, 4, "base"); key != "" {
+		t.Errorf("anonymous predictor produced cache key %q", key)
+	}
+	o.PredictorName = "default"
+	if key := newBenchJob(c, o).simKey(in, 4, "base"); key == "" {
+		t.Error("named predictor must produce a cache key")
+	}
+	// Distinct predictors must never alias.
+	o.PredictorName = "gshare-64k"
+	if newBenchJob(c, o).simKey(in, 4, "base") ==
+		func() string { o.PredictorName = "default"; return newBenchJob(c, o).simKey(in, 4, "base") }() {
+		t.Error("different predictor names produced the same key")
+	}
+}
+
+// TestSuiteCache: repeated Suite calls reuse the first result set.
+func TestSuiteCache(t *testing.T) {
+	sc := NewSuiteCache(fastOptions())
+	a, err := sc.Suite("fp2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Suite("fp2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("suite sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("suite cache returned fresh results on the second call")
+		}
+	}
+}
+
+// TestFastOptions: the shared -fast block matches what the CLIs relied on
+// before it was deduplicated.
+func TestFastOptions(t *testing.T) {
+	o := FastOptions()
+	if o.TrainInput.Iters >= DefaultOptions().TrainInput.Iters {
+		t.Error("FastOptions must shrink the train input")
+	}
+	if len(o.RefInputs) != 2 {
+		t.Errorf("FastOptions has %d ref inputs, want 2", len(o.RefInputs))
+	}
+	if len(o.Widths) == 0 {
+		t.Error("FastOptions must keep the width sweep")
+	}
+}

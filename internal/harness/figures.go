@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"vanguard/internal/bpred"
+	"vanguard/internal/engine"
 	"vanguard/internal/ir"
 	"vanguard/internal/metrics"
 	"vanguard/internal/profile"
@@ -23,28 +25,62 @@ type Curve struct {
 const CurvePoints = 75
 
 // BiasPredictabilityCurve computes the Figure 2 (integer) or Figure 3
-// (floating point) series for a suite.
+// (floating point) series for a suite. Equivalent to
+// BiasPredictabilityCurveOpts with a zero Options (sequential, uncached).
 func BiasPredictabilityCurve(suite string, in workload.Input) (*Curve, error) {
+	return BiasPredictabilityCurveOpts(suite, in, Options{Jobs: 1})
+}
+
+// benchCurve is one benchmark's resampled curve — the cacheable unit
+// result of the figure-2/3 profiling runs. Empty slices mean the
+// benchmark had too few eligible branches to contribute.
+type benchCurve struct {
+	Bias, Pred []float64
+}
+
+// BiasPredictabilityCurveOpts computes the curve with per-benchmark
+// profiling runs spread over the experiment engine; o contributes only
+// the execution policy (Jobs, Cache, EngineStats).
+func BiasPredictabilityCurveOpts(suite string, in workload.Input, o Options) (*Curve, error) {
+	var units []engine.Unit[benchCurve]
+	for _, c := range workload.Suite(suite) {
+		units = append(units, engine.Unit[benchCurve]{
+			Label: fmt.Sprintf("curve/%s/seed=%d,iters=%d", c.Name, in.Seed, in.Iters),
+			Key:   engine.Key(harnessVersion, "curve", c, in, CurvePoints),
+			Run: func(context.Context) (benchCurve, error) {
+				p, m := c.Generate(in)
+				prof, err := profile.CollectDefault(ir.MustLinearize(p), m, 200_000_000)
+				if err != nil {
+					return benchCurve{}, err
+				}
+				bias, pred := prof.BiasPredictabilityCurve(CurvePoints)
+				if len(bias) < 2 {
+					return benchCurve{}, nil
+				}
+				return benchCurve{Bias: resample(bias, CurvePoints), Pred: resample(pred, CurvePoints)}, nil
+			},
+		})
+	}
+	curves, est, err := engine.Run(context.Background(), engine.Config{Jobs: o.Jobs, Cache: o.Cache}, units)
+	if o.EngineStats != nil {
+		o.EngineStats.add(est)
+	}
+	if err != nil {
+		return nil, err
+	}
+
 	agg := &Curve{
 		Bias:           make([]float64, CurvePoints),
 		Predictability: make([]float64, CurvePoints),
 	}
 	n := 0
-	for _, c := range workload.Suite(suite) {
-		p, m := c.Generate(in)
-		prof, err := profile.CollectDefault(ir.MustLinearize(p), m, 200_000_000)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.Name, err)
-		}
-		bias, pred := prof.BiasPredictabilityCurve(CurvePoints)
-		if len(bias) < 2 {
+	for _, bc := range curves {
+		if len(bc.Bias) == 0 {
 			continue
 		}
-		rb := resample(bias, CurvePoints)
-		rp := resample(pred, CurvePoints)
 		for i := 0; i < CurvePoints; i++ {
-			agg.Bias[i] += rb[i]
-			agg.Predictability[i] += rp[i]
+			agg.Bias[i] += bc.Bias[i]
+			agg.Predictability[i] += bc.Pred[i]
 		}
 		n++
 	}
@@ -102,22 +138,32 @@ func SensitivityBenchmarks() []string { return []string{"astar", "sjeng", "gobmk
 
 // Sensitivity runs the Section 5.3 study: each benchmark across the
 // predictor ladder, re-profiling and re-transforming with each predictor
-// (the DBT system would re-optimize for the deployed front end).
+// (the DBT system would re-optimize for the deployed front end). The full
+// (benchmark x predictor) matrix runs as one engine job set.
 func Sensitivity(benchmarks []string, base Options) ([]SensitivityRow, error) {
-	var rows []SensitivityRow
+	specs := bpred.LadderSpecs()
+	var jobs []*benchJob
 	for _, name := range benchmarks {
 		c, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", name)
 		}
-		for _, spec := range bpred.LadderSpecs() {
+		for _, spec := range specs {
 			o := base
 			o.Widths = []int{4}
 			o.NewPredictor = spec.New
-			r, err := RunBenchmark(c, o)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, spec.Name, err)
-			}
+			o.PredictorName = spec.Name
+			jobs = append(jobs, newBenchJob(c, o))
+		}
+	}
+	rs, err := runBenchJobs(jobs, base)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SensitivityRow
+	for bi, name := range benchmarks {
+		for si, spec := range specs {
+			r := rs[bi*len(specs)+si]
 			wr := r.run4()
 			rows = append(rows, SensitivityRow{
 				Benchmark:  name,
@@ -167,7 +213,8 @@ type ICacheStudy struct {
 	MissUnderMispred float64 // fraction of I$ misses in a mispredict shadow (32KB)
 }
 
-// RunICacheStudy executes the study over a suite.
+// RunICacheStudy executes the study over a suite: both configurations of
+// every benchmark run as one engine job set.
 func RunICacheStudy(suite string, base Options) ([]ICacheStudy, error) {
 	small := base
 	small.ICacheBytes = 24 << 10
@@ -175,16 +222,19 @@ func RunICacheStudy(suite string, base Options) ([]ICacheStudy, error) {
 	big := base
 	big.Widths = []int{4}
 
+	cs := workload.Suite(suite)
+	var jobs []*benchJob
+	for _, c := range cs {
+		jobs = append(jobs, newBenchJob(c, big), newBenchJob(c, small))
+	}
+	rs, err := runBenchJobs(jobs, base)
+	if err != nil {
+		return nil, err
+	}
+
 	var out []ICacheStudy
-	for _, c := range workload.Suite(suite) {
-		rBig, err := RunBenchmark(c, big)
-		if err != nil {
-			return nil, err
-		}
-		rSmall, err := RunBenchmark(c, small)
-		if err != nil {
-			return nil, err
-		}
+	for ci, c := range cs {
+		rBig, rSmall := rs[2*ci], rs[2*ci+1]
 		wb, ws := rBig.run4(), rSmall.run4()
 		slow := (float64(ws.Base.Cycles)/float64(wb.Base.Cycles) - 1) * 100
 		frac := 0.0

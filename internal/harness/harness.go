@@ -4,6 +4,11 @@
 // plus the Decomposed Branch Transformation), simulate both on the REF
 // inputs across machine widths, verify architectural equivalence, and
 // aggregate the metrics each table and figure reports.
+//
+// Execution goes through the experiment engine (internal/engine): each
+// driver enumerates its work as independent simulation units, runs them
+// on a bounded worker pool, and aggregates deterministically — see
+// engine.go in this package.
 package harness
 
 import (
@@ -11,9 +16,8 @@ import (
 
 	"vanguard/internal/bpred"
 	"vanguard/internal/core"
-	"vanguard/internal/interp"
+	"vanguard/internal/engine"
 	"vanguard/internal/ir"
-	"vanguard/internal/mem"
 	"vanguard/internal/metrics"
 	"vanguard/internal/pipeline"
 	"vanguard/internal/profile"
@@ -27,6 +31,10 @@ type Options struct {
 	TrainInput   workload.Input
 	RefInputs    []workload.Input
 	NewPredictor func() bpred.DirPredictor // nil = Table 1 default
+	// PredictorName names NewPredictor for the run-cache key. Simulations
+	// with an anonymous predictor (NewPredictor set, no name) bypass the
+	// cache rather than risk aliasing distinct predictors.
+	PredictorName string
 	// ICacheBytes overrides the L1-I capacity (Section 6.1's 24KB run).
 	ICacheBytes int
 	// DBBEntries overrides the Decomposed Branch Buffer depth (ablation;
@@ -38,6 +46,17 @@ type Options struct {
 	// Transform options.
 	Core core.Options
 	Spec core.SpeculateOptions
+
+	// Execution policy (see the experiment engine in internal/engine):
+	// Jobs bounds the worker pool (<= 0 selects GOMAXPROCS), Cache is the
+	// content-keyed on-disk run cache (nil disables cross-invocation
+	// reuse), and EngineStats, when non-nil, accumulates scheduling and
+	// cache telemetry across every harness call sharing it. None of the
+	// three changes simulated results: aggregation is deterministic in
+	// enumeration order regardless of scheduling.
+	Jobs        int
+	Cache       *engine.Cache
+	EngineStats *EngineStats
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -50,6 +69,17 @@ func DefaultOptions() Options {
 		Core:       core.DefaultOptions(),
 		Spec:       core.DefaultSpeculateOptions(),
 	}
+}
+
+// FastOptions returns the reduced-input smoke configuration every CLI's
+// -fast flag starts from, so the quick-run settings cannot drift between
+// tools. Callers narrow further (fewer REF inputs, one width) as their
+// experiment requires.
+func FastOptions() Options {
+	o := DefaultOptions()
+	o.TrainInput = workload.Input{Seed: 101, Iters: 800}
+	o.RefInputs = []workload.Input{{Seed: 202, Iters: 1000}, {Seed: 303, Iters: 1000}}
+	return o
 }
 
 // WidthRun is one (input, width) measurement pair.
@@ -208,67 +238,26 @@ func BuildBinaries(c workload.Config, o Options) (base, exp *ir.Program, prof *p
 
 // RunBenchmark measures one benchmark under the options.
 func RunBenchmark(c workload.Config, o Options) (*BenchResult, error) {
-	base, exp, prof, rep, err := BuildBinaries(c, o)
+	rs, err := RunBenchmarks([]workload.Config{c}, o)
 	if err != nil {
 		return nil, err
 	}
-	res := &BenchResult{
-		Config: c, Profile: prof, Report: rep,
-		StaticBase: base.NumInstrs(), StaticExp: exp.NumInstrs(),
+	return rs[0], nil
+}
+
+// RunBenchmarks measures a set of benchmarks as one experiment-engine job
+// set: every (benchmark, input, width, binary) simulation becomes an
+// independent unit on the worker pool, and results aggregate in
+// enumeration order, so the output is identical for any worker count.
+func RunBenchmarks(cs []workload.Config, o Options) ([]*BenchResult, error) {
+	jobs := make([]*benchJob, len(cs))
+	for i, c := range cs {
+		jobs[i] = newBenchJob(c, o)
 	}
-	baseIm := ir.MustLinearize(base)
-	expIm := ir.MustLinearize(exp)
-
-	for _, in := range o.RefInputs {
-		_, refMem := c.Generate(in)
-		ir2 := InputResult{Input: in}
-
-		// Golden architectural state for verification.
-		var gold *mem.Memory
-		if o.Verify {
-			goldProg, goldMem := c.Generate(in)
-			if _, _, err := interp.Run(ir.MustLinearize(goldProg), goldMem, interp.Options{}); err != nil {
-				return nil, fmt.Errorf("%s: golden run: %w", c.Name, err)
-			}
-			gold = goldMem
-		}
-
-		for _, w := range o.Widths {
-			run := func(im *ir.Image, label string) (*pipeline.Stats, error) {
-				mach := pipeline.New(c.PatchIters(im, in.Iters), refMem.Clone(), o.machineConfig(w))
-				st, err := mach.Run()
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s w%d: %w", c.Name, label, w, err)
-				}
-				if gold != nil && !mach.Memory().Equal(gold) {
-					return nil, fmt.Errorf("%s/%s w%d: architectural state diverged from golden model", c.Name, label, w)
-				}
-				return st, nil
-			}
-			bs, err := run(baseIm, "base")
-			if err != nil {
-				return nil, err
-			}
-			es, err := run(expIm, "exp")
-			if err != nil {
-				return nil, err
-			}
-			ir2.Runs = append(ir2.Runs, WidthRun{Width: w, Base: bs, Exp: es})
-		}
-		res.Inputs = append(res.Inputs, ir2)
-	}
-	return res, nil
+	return runBenchJobs(jobs, o)
 }
 
 // RunSuite measures every benchmark of a suite.
 func RunSuite(suite string, o Options) ([]*BenchResult, error) {
-	var out []*BenchResult
-	for _, c := range workload.Suite(suite) {
-		r, err := RunBenchmark(c, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunBenchmarks(workload.Suite(suite), o)
 }

@@ -11,9 +11,7 @@ import (
 // fastOptions shrinks the inputs so harness tests stay quick while still
 // exercising the full pipeline (profile -> transform -> simulate -> verify).
 func fastOptions() Options {
-	o := DefaultOptions()
-	o.TrainInput = workload.Input{Seed: 101, Iters: 800}
-	o.RefInputs = []workload.Input{{Seed: 202, Iters: 1000}, {Seed: 303, Iters: 1000}}
+	o := FastOptions()
 	o.Widths = []int{4}
 	return o
 }

@@ -20,6 +20,29 @@ type Report struct {
 	Tool       string            `json:"tool"`
 	Benchmarks []*BenchReport    `json:"benchmarks,omitempty"`
 	Ablations  []*AblationReport `json:"ablations,omitempty"`
+	// Engine records how the experiment engine executed the tool's runs.
+	// It is the only non-deterministic part of a report (wall times), so
+	// differential consumers compare reports with Engine stripped.
+	Engine *EngineReport `json:"engine,omitempty"`
+}
+
+// EngineReport is the experiment-engine telemetry of one tool invocation:
+// worker-pool size, run-cache effectiveness, and per-unit wall times in
+// enumeration order.
+type EngineReport struct {
+	Jobs        int          `json:"jobs"`
+	Units       int          `json:"units"`
+	CacheHits   int          `json:"cache_hits"`
+	CacheMisses int          `json:"cache_misses"`
+	WallMS      float64      `json:"wall_ms"`
+	UnitWall    []EngineUnit `json:"unit_wall,omitempty"`
+}
+
+// EngineUnit is one executed experiment unit.
+type EngineUnit struct {
+	Label    string  `json:"label"`
+	WallMS   float64 `json:"wall_ms"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
 }
 
 // NewReport builds an empty report for the named tool.
