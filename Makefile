@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench results
+.PHONY: all build test check fmt vet race bench bench-all results
 
 all: build
 
@@ -29,7 +29,15 @@ race:
 # Pre-PR gate: run this before every commit.
 check: fmt vet build race
 
+# Simulator-throughput benchmarks (simulated MIPS + allocation counts),
+# benchstat-friendly: five samples per benchmark, compare against the
+# committed results/bench_baseline.txt with
+#   make bench | tee new.txt && benchstat results/bench_baseline.txt new.txt
 bench:
+	$(GO) test -bench Sim -benchmem -count 5 -run '^$$' .
+
+# Quick smoke pass over every table/figure benchmark.
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # Regenerate the committed telemetry baselines under results/ through the

@@ -11,10 +11,14 @@ package vanguard_test
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"vanguard/internal/harness"
+	"vanguard/internal/ir"
+	"vanguard/internal/mem"
 	"vanguard/internal/metrics"
+	"vanguard/internal/pipeline"
 	"vanguard/internal/workload"
 )
 
@@ -227,6 +231,98 @@ func benchEngineSuite(b *testing.B, jobs int) {
 // scheduling overhead (the two times should match).
 func BenchmarkEngineSuiteJobs1(b *testing.B)   { benchEngineSuite(b, 1) }
 func BenchmarkEngineSuiteJobsMax(b *testing.B) { benchEngineSuite(b, 0) }
+
+// ---- simulator-core throughput (the BenchmarkSim* suite) ----
+//
+// These benchmarks measure the single-machine hot path — pipeline.Machine
+// cycling one loaded program — as simulated MIPS (committed instructions
+// per wall second, in millions). `make bench` runs exactly this suite
+// (-bench Sim -benchmem -count 5) against results/bench_baseline.txt, so
+// core regressions show up as a diffable drop in sim-MIPS or a nonzero
+// rise in allocs/op. The build products (profile, transform, schedule) are
+// constructed once and shared; each iteration simulates a fresh machine
+// over a fresh memory clone, exactly like one harness simulation unit.
+
+var simSetup struct {
+	once      sync.Once
+	base, exp *ir.Image
+	mem       *mem.Memory
+	err       error
+}
+
+// simImages builds (once) the baseline and decomposed perlbench binaries
+// and the REF memory image the Sim benchmarks run over.
+func simImages(b *testing.B) (base, exp *ir.Image, m *mem.Memory) {
+	b.Helper()
+	s := &simSetup
+	s.once.Do(func() {
+		c, ok := workload.ByName("perlbench")
+		if !ok {
+			s.err = io.ErrUnexpectedEOF
+			return
+		}
+		o := harness.FastOptions()
+		o.Verify = false
+		baseP, expP, _, _, err := harness.BuildBinaries(c, o)
+		if err != nil {
+			s.err = err
+			return
+		}
+		in := workload.Input{Seed: 202, Iters: 12_000}
+		_, refMem := c.Generate(in)
+		s.base = c.PatchIters(ir.MustLinearize(baseP), in.Iters)
+		s.exp = c.PatchIters(ir.MustLinearize(expP), in.Iters)
+		s.mem = refMem
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.base, s.exp, s.mem
+}
+
+// benchSim runs one (image, width) simulation per iteration and reports
+// throughput as sim-MIPS.
+func benchSim(b *testing.B, im *ir.Image, m *mem.Memory, width int) {
+	b.Helper()
+	var instrs, cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := pipeline.New(im, m.Clone(), pipeline.DefaultConfig(width))
+		st, err := mach.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += st.Committed
+		cycles += st.Cycles
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(instrs)/secs/1e6, "sim-MIPS")
+		b.ReportMetric(float64(cycles)/secs/1e6, "sim-Mcyc/s")
+	}
+}
+
+// BenchmarkSimBaseW2/W4/W8 cycle the baseline (speculated + scheduled)
+// binary across the Table 1 widths; BenchmarkSimDecomposedW4 cycles the
+// experimental binary, exercising the PREDICT/RESOLVE/DBB paths.
+func BenchmarkSimBaseW2(b *testing.B) {
+	base, _, m := simImages(b)
+	benchSim(b, base, m, 2)
+}
+
+func BenchmarkSimBaseW4(b *testing.B) {
+	base, _, m := simImages(b)
+	benchSim(b, base, m, 4)
+}
+
+func BenchmarkSimBaseW8(b *testing.B) {
+	base, _, m := simImages(b)
+	benchSim(b, base, m, 8)
+}
+
+func BenchmarkSimDecomposedW4(b *testing.B) {
+	_, exp, m := simImages(b)
+	benchSim(b, exp, m, 4)
+}
 
 // BenchmarkTable1Machine measures raw simulator throughput on the Table 1
 // configuration — cycles simulated per second on a representative

@@ -21,12 +21,44 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vanguard/internal/engine"
 	"vanguard/internal/harness"
 	"vanguard/internal/textplot"
 	"vanguard/internal/workload"
 )
+
+// startProfiles enables CPU/heap profiling per the -cpuprofile and
+// -memprofile flags; the returned stop must run on (clean) exit.
+func startProfiles(cpu, memf string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if memf != "" {
+			f, err := os.Create(memf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,8 +76,12 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache  = flag.Bool("no-cache", false, "disable the on-disk run cache")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to a file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to a file on exit")
 	)
 	flag.Parse()
+	stopProfiles := startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 	o := harness.DefaultOptions()
 	if *fast {
 		o = harness.FastOptions()

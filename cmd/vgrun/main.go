@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vanguard/internal/asm"
 	"vanguard/internal/core"
@@ -53,10 +55,35 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to a file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to a file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: vgrun [flags] prog.s")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -103,10 +130,11 @@ func main() {
 			cache = c
 		}
 	}
-	// Event tracing needs a live machine, so those runs bypass the cache;
-	// so do cache hits skip the memory cross-check (the run was verified
-	// when its result was computed and stored).
-	tracing := *doTrace || *traceAll || *chromeOut != ""
+	// Event tracing needs a live machine, so those runs bypass the cache
+	// (as do profiled runs — a cache hit would profile nothing); cache
+	// hits skip the memory cross-check (the run was verified when its
+	// result was computed and stored).
+	tracing := *doTrace || *traceAll || *chromeOut != "" || *cpuProf != ""
 	key := ""
 	if !tracing {
 		key = engine.Key("vgrun/v1", string(src), *width, *transform, *maxInstrs)

@@ -18,13 +18,29 @@ type line struct {
 	lastUse uint64
 }
 
+// noMRU is the empty-slot sentinel for the per-set MRU tag cache. It can
+// never collide with a real tag: tags are addr >> log2(LineBytes), so a
+// tag of all-ones would require an address above 2^64.
+const noMRU = ^uint64(0)
+
 // Cache is one set-associative level with LRU replacement.
+//
+// Way storage is a single flat slice (set-major) rather than a slice of
+// per-set slices, and each set caches the tag of its most-recently-used
+// line. The simulator's access stream is dominated by repeated hits on
+// the same line, and an MRU hit can skip the way scan and the LRU
+// bookkeeping entirely: refreshing the line that already holds the
+// unique per-set maximum lastUse cannot change any future victim choice
+// (victims are picked by comparing lastUse within one set only), so the
+// fast path leaves hit/miss outcomes and both counters byte-identical.
 type Cache struct {
 	cfg    Config
-	sets   [][]line
+	lines  []line   // ways*setCnt entries, set-major
+	mru    []uint64 // per-set MRU tag, noMRU when unknown
 	clock  uint64
 	shift  uint // log2(LineBytes)
 	setCnt uint64
+	ways   int
 
 	Accesses uint64
 	Misses   uint64
@@ -36,10 +52,15 @@ func New(cfg Config) *Cache {
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
 		panic("cache: set count must be a positive power of two")
 	}
-	c := &Cache{cfg: cfg, setCnt: uint64(nsets)}
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	c := &Cache{
+		cfg:    cfg,
+		setCnt: uint64(nsets),
+		ways:   cfg.Ways,
+		lines:  make([]line, nsets*cfg.Ways),
+		mru:    make([]uint64, nsets),
+	}
+	for i := range c.mru {
+		c.mru[i] = noMRU
 	}
 	for s := cfg.LineBytes; s > 1; s >>= 1 {
 		c.shift++
@@ -53,10 +74,16 @@ func (c *Cache) Config() Config { return c.cfg }
 // LineAddr returns the line-aligned address.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.shift << c.shift }
 
+// set returns the ways of the set holding tag.
+func (c *Cache) set(tag uint64) []line {
+	base := int(tag&(c.setCnt-1)) * c.ways
+	return c.lines[base : base+c.ways]
+}
+
 // Lookup probes for the line containing addr without changing state.
 func (c *Cache) Lookup(addr uint64) bool {
 	tag := addr >> c.shift
-	set := c.sets[tag%c.setCnt]
+	set := c.set(tag)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return true
@@ -69,14 +96,22 @@ func (c *Cache) Lookup(addr uint64) bool {
 // returns true; on a miss it allocates the line (evicting the LRU way) and
 // returns false.
 func (c *Cache) Access(addr uint64) bool {
-	c.clock++
 	c.Accesses++
 	tag := addr >> c.shift
-	set := c.sets[tag%c.setCnt]
+	si := tag & (c.setCnt - 1)
+	if c.mru[si] == tag {
+		// The line is already its set's newest; refreshing it would not
+		// change relative LRU order, so skip the scan and the clock tick.
+		return true
+	}
+	c.clock++
+	base := int(si) * c.ways
+	set := c.lines[base : base+c.ways]
 	victim := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lastUse = c.clock
+			c.mru[si] = tag
 			return true
 		}
 		if !set[i].valid {
@@ -87,17 +122,21 @@ func (c *Cache) Access(addr uint64) bool {
 	}
 	c.Misses++
 	set[victim] = line{tag: tag, valid: true, lastUse: c.clock}
+	c.mru[si] = tag
 	return false
 }
 
 // Invalidate drops the line containing addr if present.
 func (c *Cache) Invalidate(addr uint64) {
 	tag := addr >> c.shift
-	set := c.sets[tag%c.setCnt]
+	set := c.set(tag)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].valid = false
 		}
+	}
+	if si := tag & (c.setCnt - 1); c.mru[si] == tag {
+		c.mru[si] = noMRU
 	}
 }
 

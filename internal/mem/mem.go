@@ -5,6 +5,14 @@
 // (needed to provoke realistic L2/L3 miss rates) stay cheap to simulate.
 // Addresses below FaultBoundary fault, modelling the unmapped null page
 // that makes control-speculated loads dangerous in real programs.
+//
+// A small direct-mapped page-translation cache (a software TLB) sits in
+// front of the pages map: the simulator's hot loop issues one load or
+// store per memory instruction, and nearly all of them land on a handful
+// of recently-touched pages, so the common case is two masks and one
+// array read instead of a map lookup. LoadFast/StoreFast are the
+// allocation-free forms the pipeline uses per-access; Load/Store keep the
+// error-returning contract for the golden model and loaders.
 package mem
 
 import "fmt"
@@ -17,6 +25,11 @@ const (
 	// FaultBoundary is the lowest valid address: accesses below it fault,
 	// like dereferences of null-ish pointers.
 	FaultBoundary = 4096
+
+	// tlbEntries sizes the direct-mapped translation cache. 64 entries
+	// cover 4MB of working set at zero associativity cost; conflict
+	// misses just fall back to the map.
+	tlbEntries = 64
 )
 
 // Fault describes a memory access fault.
@@ -34,9 +47,16 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("memory fault: %s at %#x", kind, f.Addr)
 }
 
+// tlbEnt is one translation-cache slot; page == nil marks it empty.
+type tlbEnt struct {
+	pn   uint64
+	page *[wordsPP]int64
+}
+
 // Memory is a sparse, paged 64-bit word store.
 type Memory struct {
 	pages map[uint64]*[wordsPP]int64
+	tlb   [tlbEntries]tlbEnt
 }
 
 // New returns an empty memory.
@@ -44,44 +64,85 @@ func New() *Memory {
 	return &Memory{pages: make(map[uint64]*[wordsPP]int64)}
 }
 
-// valid reports whether the address is mapped-legal and aligned.
-func valid(addr uint64) bool {
+// Valid reports whether the address is mapped-legal and aligned. It is
+// pure address arithmetic, so callers probing for wrong-path faults can
+// use it without touching the page table (or allocating a Fault).
+func Valid(addr uint64) bool {
 	return addr >= FaultBoundary && addr%8 == 0
+}
+
+// pageFor returns the backing page for page number pn (nil if the page
+// was never written), consulting the TLB before the map and filling the
+// TLB on a map hit.
+func (m *Memory) pageFor(pn uint64) *[wordsPP]int64 {
+	e := &m.tlb[pn&(tlbEntries-1)]
+	if e.page != nil && e.pn == pn {
+		return e.page
+	}
+	page := m.pages[pn]
+	if page != nil {
+		e.pn, e.page = pn, page
+	}
+	return page
 }
 
 // Load reads the 64-bit word at addr. It returns a *Fault error for
 // misaligned or out-of-bounds addresses.
 func (m *Memory) Load(addr uint64) (int64, error) {
-	if !valid(addr) {
+	if !Valid(addr) {
 		return 0, &Fault{Addr: addr}
 	}
-	page, ok := m.pages[addr/PageBytes]
-	if !ok {
+	page := m.pageFor(addr / PageBytes)
+	if page == nil {
 		return 0, nil // unwritten memory reads as zero
 	}
 	return page[(addr%PageBytes)/8], nil
 }
 
+// LoadFast is the allocation-free hot-path load: ok is false exactly when
+// Load would fault, and the value matches Load in every case.
+func (m *Memory) LoadFast(addr uint64) (v int64, ok bool) {
+	if !Valid(addr) {
+		return 0, false
+	}
+	page := m.pageFor(addr / PageBytes)
+	if page == nil {
+		return 0, true
+	}
+	return page[(addr%PageBytes)/8], true
+}
+
 // Store writes the 64-bit word at addr.
 func (m *Memory) Store(addr uint64, v int64) error {
-	if !valid(addr) {
+	if !m.StoreFast(addr, v) {
 		return &Fault{Addr: addr, Write: true}
 	}
+	return nil
+}
+
+// StoreFast is the allocation-free hot-path store: ok is false exactly
+// when Store would fault (nothing is written in that case).
+func (m *Memory) StoreFast(addr uint64, v int64) bool {
+	if !Valid(addr) {
+		return false
+	}
 	pn := addr / PageBytes
-	page, ok := m.pages[pn]
-	if !ok {
+	page := m.pageFor(pn)
+	if page == nil {
 		page = new([wordsPP]int64)
 		m.pages[pn] = page
+		e := &m.tlb[pn&(tlbEntries-1)]
+		e.pn, e.page = pn, page
 	}
 	page[(addr%PageBytes)/8] = v
-	return nil
+	return true
 }
 
 // MustStore stores and panics on fault; used by program loaders that write
 // only known-good addresses.
 func (m *Memory) MustStore(addr uint64, v int64) {
-	if err := m.Store(addr, v); err != nil {
-		panic(err)
+	if !m.StoreFast(addr, v) {
+		panic(&Fault{Addr: addr, Write: true})
 	}
 }
 
@@ -99,7 +160,8 @@ func (m *Memory) StoreWords(base uint64, vs []int64) error {
 func (m *Memory) Footprint() int { return len(m.pages) }
 
 // Clone returns a deep copy, used to snapshot initial program state so the
-// timing and functional simulators can run from identical memories.
+// timing and functional simulators can run from identical memories. The
+// clone starts with a cold TLB.
 func (m *Memory) Clone() *Memory {
 	c := New()
 	for pn, page := range m.pages {

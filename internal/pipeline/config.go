@@ -60,6 +60,13 @@ type Config struct {
 	// instructions (0 = unlimited); MaxCycles likewise.
 	MaxInstrs int64
 	MaxCycles int64
+
+	// debugCheckpoints additionally takes a full register-file snapshot at
+	// every speculation point and cross-checks the undo-journal rewind
+	// against it on squash, panicking on divergence. Test-only (unexported
+	// on purpose): it reintroduces exactly the per-branch copying the
+	// journal exists to avoid.
+	debugCheckpoints bool
 }
 
 // DefaultConfig returns the Table 1 machine at the given width.

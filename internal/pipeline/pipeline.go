@@ -14,12 +14,14 @@ import (
 	"vanguard/internal/trace"
 )
 
-// fetchEntry is one slot of the fetch buffer.
+// fetchEntry is one slot of the fetch buffer. It deliberately carries no
+// isa.Instr and no derivable timing: the instruction word is re-read from
+// the immutable image by pc and the earliest issue cycle is
+// fetchedAt + FrontEndDepth - 1, which keeps the struct small enough that
+// the fetch→issue→specPoint copies stay cheap.
 type fetchEntry struct {
 	seq       int64
 	pc        int
-	ins       isa.Instr
-	readyAt   int64 // earliest issue cycle (front-end traversal)
 	fetchedAt int64 // cycle the entry was fetched (fetch-to-issue telemetry)
 
 	// Speculation metadata captured in the front end.
@@ -33,22 +35,93 @@ type fetchEntry struct {
 	dbbOccCkpt  int // outstanding-decomposed-branch count at fetch
 }
 
+// ---- predecode ----
+
+// predecoded caches the per-PC instruction metadata the issue stage needs
+// every cycle (register uses/def, functional unit, latency, kind flags),
+// so the hot loop indexes one flat array instead of re-deriving it through
+// isa switches per issued instruction. Built once per machine at load; the
+// image is immutable for the life of the run.
+type predecoded struct {
+	uses    [3]isa.Reg
+	def     isa.Reg
+	op      isa.Op
+	fu      isa.FU
+	flags   uint8
+	latency int32
+}
+
+// predecoded.flags bits.
+const (
+	pdLoad  uint8 = 1 << iota // LD or LDS
+	pdStore                   // ST
+	pdSpec                    // BR, RESOLVE or RET: issues a speculation point
+)
+
+func predecode(instrs []isa.Instr) []predecoded {
+	pre := make([]predecoded, len(instrs))
+	for pc := range instrs {
+		ins := &instrs[pc]
+		p := &pre[pc]
+		p.uses[0], p.uses[1], p.uses[2] = ins.Uses()
+		p.def = ins.Def()
+		p.op = ins.Op
+		p.fu = ins.Op.Unit()
+		p.latency = int32(ins.Op.Latency())
+		if ins.IsLoad() {
+			p.flags |= pdLoad
+		}
+		if ins.IsStore() {
+			p.flags |= pdStore
+		}
+		if op := ins.Op; op == isa.BR || op == isa.RESOLVE || op == isa.RET {
+			p.flags |= pdSpec
+		}
+	}
+	return pre
+}
+
+// ---- speculation checkpoints ----
+
 // specPoint is an issued-but-unresolved speculation point (BR, RESOLVE or
-// RET) with the checkpoints needed to repair a misprediction.
+// RET) with the checkpoints needed to repair a misprediction. Register
+// state is not copied here: jMark bounds the machine's undo journal, and a
+// squash rewinds the journal back to it.
 type specPoint struct {
 	fe          fetchEntry
 	resolveAt   int64
 	mispredict  bool
 	redirectPC  int
 	actualTaken bool // BR: direction; RESOLVE: original branch outcome
+	halted      bool // architectural Halted at issue
 
+	jMark          int64 // journal high-water mark at issue
+	issuedSnapshot int64
+}
+
+// regUndo journals one architectural register write: the value, poison bit
+// and scoreboard ready-time the write replaced. Rewinding a suffix of the
+// journal (newest first) restores the register file exactly to the state
+// at any earlier mark — the bounded undo-log replacement for copying the
+// full [NumRegs] arrays into every speculation point.
+type regUndo struct {
+	val    int64
+	ready  int64
+	reg    isa.Reg
+	poison bool
+}
+
+// debugSnap is the full-copy checkpoint kept per speculation point when
+// Config.debugCheckpoints is set; flush cross-checks the journal-rewound
+// state against it (differential test support, never on in production).
+type debugSnap struct {
 	regs     [isa.NumRegs]int64
 	poison   [isa.NumRegs]bool
 	regReady [isa.NumRegs]int64
 	halted   bool
-
-	issuedSnapshot int64
 }
+
+// ---- store buffer ----
 
 type sbEntry struct {
 	seq  int64
@@ -56,28 +129,71 @@ type sbEntry struct {
 	val  int64
 }
 
+// sbSlots sizes the store buffer's direct-mapped last-writer index.
+const sbSlots = 16
+
+// sbSlot caches the youngest buffered store to one address so load
+// forwarding stops scanning the whole buffer on deep wrong paths. A slot
+// hit requires: same generation (no squash since insert), exact address
+// match, and the entry's seq still inside the buffer's live window (not
+// yet drained). Anything else falls back to the scan, so collisions are
+// only a missed optimization, never a wrong value.
+type sbSlot struct {
+	addr uint64
+	val  int64
+	seq  int64
+	gen  uint32
+}
+
+func sbSlotIdx(addr uint64) int { return int((addr >> 3) & (sbSlots - 1)) }
+
+// sbLookup returns the youngest buffered store to addr, if any.
+func (m *Machine) sbLookup(addr uint64) (int64, bool) {
+	if s := &m.sbLast[sbSlotIdx(addr)]; s.gen == m.sbGen && s.addr == addr &&
+		len(m.sb) > 0 && s.seq >= m.sb[0].seq {
+		return s.val, true
+	}
+	for i := len(m.sb) - 1; i >= 0; i-- {
+		if m.sb[i].addr == addr {
+			return m.sb[i].val, true
+		}
+	}
+	return 0, false
+}
+
 // sbView gives exec.Step a memory with store-buffer semantics: stores are
 // buffered (squashable), loads forward from the youngest matching store.
 type sbView struct{ m *Machine }
 
-// Load implements exec.Memory.
+// Load implements exec.Memory. Both legs are allocation-free: forwarding
+// hits come from the last-writer index and misses take the paged memory's
+// TLB fast path; a faulting (wrong-path) address returns the machine's
+// preallocated Fault sentinel.
 func (v sbView) Load(addr uint64) (int64, error) {
-	for i := len(v.m.sb) - 1; i >= 0; i-- {
-		if v.m.sb[i].addr == addr {
-			return v.m.sb[i].val, nil
-		}
+	m := v.m
+	if val, ok := m.sbLookup(addr); ok {
+		return val, nil
 	}
-	return v.m.mem.Load(addr)
+	if val, ok := m.mem.LoadFast(addr); ok {
+		return val, nil
+	}
+	m.loadFault = mem.Fault{Addr: addr}
+	return 0, &m.loadFault
 }
 
-// Store implements exec.Memory. Fault detection happens eagerly (via a
-// probing load) so wrong-path stores to garbage addresses surface as
-// deferred faults rather than corrupting the buffer silently.
+// Store implements exec.Memory. Fault detection happens eagerly (pure
+// address arithmetic via mem.Valid) so wrong-path stores to garbage
+// addresses surface as deferred faults rather than corrupting the buffer
+// silently — without the old probing load's page-table lookup or the two
+// Fault allocations per speculative store.
 func (v sbView) Store(addr uint64, val int64) error {
-	if _, err := v.m.mem.Load(addr); err != nil {
-		return &mem.Fault{Addr: addr, Write: true}
+	m := v.m
+	if !mem.Valid(addr) {
+		m.storeFault = mem.Fault{Addr: addr, Write: true}
+		return &m.storeFault
 	}
-	v.m.sb = append(v.m.sb, sbEntry{seq: v.m.curSeq, addr: addr, val: val})
+	m.sb = append(m.sb, sbEntry{seq: m.curSeq, addr: addr, val: val})
+	m.sbLast[sbSlotIdx(addr)] = sbSlot{addr: addr, val: val, seq: m.curSeq, gen: m.sbGen}
 	return nil
 }
 
@@ -94,6 +210,8 @@ type Machine struct {
 
 	st       *exec.State
 	regReady [isa.NumRegs]int64
+	pre      []predecoded
+	feDelay  int64 // FrontEndDepth-1: fetched at c, issues no earlier than c+feDelay
 
 	fetchPC       int
 	fetchStall    int64
@@ -108,8 +226,33 @@ type Machine struct {
 	seq    int64
 	curSeq int64
 
-	inflight []*specPoint
-	sb       []sbEntry
+	// In-flight speculation points, a head-indexed FIFO of values (same
+	// compaction discipline as the fetch buffer; no per-branch heap
+	// allocation). Register state for squash repair lives in the journal.
+	inflight []specPoint
+	infHead  int
+
+	// The register undo journal. journal[i] describes the (jBase+i)-th
+	// architectural register write since the last release; specPoint
+	// marks are absolute, so releasing a committed prefix is a cheap
+	// copy-down that never touches the marks.
+	journal []regUndo
+	jBase   int64
+
+	sb     []sbEntry
+	sbLast [sbSlots]sbSlot
+	sbGen  uint32
+
+	// Preallocated fault sentinels: wrong-path probes hit these instead
+	// of allocating, and a fault that is actually deferred is copied into
+	// pendFault so later probes cannot clobber it.
+	loadFault  mem.Fault
+	storeFault mem.Fault
+	pendFault  mem.Fault
+
+	// debugSnaps holds the full-copy checkpoints cross-checked against
+	// journal rewinds under Config.debugCheckpoints (tests only).
+	debugSnaps map[int64]*debugSnap
 
 	// Sink, when non-nil, receives one typed trace.Event per lifecycle
 	// event (fetch, issue, commit, squash, mispredict, resolve firing,
@@ -150,9 +293,14 @@ func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
 		btb:           bpred.NewBTB(cfg.BTBLogEntries),
 		ras:           bpred.NewRAS(cfg.RASEntries),
 		DBB:           NewDBB(cfg.DBBEntries),
+		pre:           predecode(im.Instrs),
+		feDelay:       int64(cfg.FrontEndDepth) - 1,
 		fetchPC:       im.Entry,
 		lastFetchLine: math.MaxUint64,
 		fb:            make([]fetchEntry, 0, cfg.FetchBufEntries),
+		inflight:      make([]specPoint, 0, 2*cfg.Width+4),
+		journal:       make([]regUndo, 0, 64),
+		sb:            make([]sbEntry, 0, 64),
 		haltSeq:       -1,
 		pendFaultSeq:  -1,
 		repairStart:   -1,
@@ -213,6 +361,30 @@ func (m *Machine) Stats() *Stats { return &m.stats }
 // verification against a golden model).
 func (m *Machine) Memory() *mem.Memory { return m.mem }
 
+// stepCycle advances the machine by one cycle: resolve speculation, surface
+// committed faults, drain committed stores, inject exceptions, then issue
+// and fetch. It returns done=true when the run is over (HALT drained or an
+// instruction cap hit) and a non-nil error on an architectural fault.
+func (m *Machine) stepCycle() (done bool, err error) {
+	m.resolve()
+	if err := m.commitFaultCheck(); err != nil {
+		return true, err
+	}
+	m.drainStores()
+	if m.cfg.ExceptionEveryN > 0 && m.infLen() == 0 &&
+		m.stats.Issued-m.stats.WrongPathIssued >= m.nextException {
+		m.takeException()
+		m.nextException += m.cfg.ExceptionEveryN
+	}
+	if m.done() {
+		return true, nil
+	}
+	m.issue()
+	m.fetch()
+	m.now++
+	return false, nil
+}
+
 // Run simulates to HALT (or an instruction/cycle cap) and returns stats.
 func (m *Machine) Run() (*Stats, error) {
 	maxCycles := m.cfg.MaxCycles
@@ -234,23 +406,14 @@ func (m *Machine) Run() (*Stats, error) {
 			m.finishStats()
 			return &m.stats, fmt.Errorf("pipeline: cycle limit %d reached at pc %d", maxCycles, m.fetchPC)
 		}
-		m.resolve()
-		if err := m.commitFaultCheck(); err != nil {
+		done, err := m.stepCycle()
+		if err != nil {
 			m.finishStats()
 			return &m.stats, err
 		}
-		m.drainStores()
-		if m.cfg.ExceptionEveryN > 0 && len(m.inflight) == 0 &&
-			m.stats.Issued-m.stats.WrongPathIssued >= m.nextException {
-			m.takeException()
-			m.nextException += m.cfg.ExceptionEveryN
-		}
-		if m.done() {
+		if done {
 			break
 		}
-		m.issue()
-		m.fetch()
-		m.now++
 	}
 	m.finishStats()
 	return &m.stats, nil
@@ -275,7 +438,7 @@ func (m *Machine) done() bool {
 	if m.cfg.MaxInstrs > 0 && m.stats.Issued-m.stats.WrongPathIssued >= m.cfg.MaxInstrs {
 		return true
 	}
-	if m.haltSeq >= 0 && len(m.inflight) == 0 {
+	if m.haltSeq >= 0 && m.infLen() == 0 {
 		m.stats.Halted = true
 		// All speculation resolved: every buffered store is committed.
 		m.drainAll()
@@ -284,19 +447,107 @@ func (m *Machine) done() bool {
 	return false
 }
 
+// ---- in-flight speculation queue ----
+
+func (m *Machine) infLen() int { return len(m.inflight) - m.infHead }
+
+func (m *Machine) infFront() *specPoint { return &m.inflight[m.infHead] }
+
+// infPush appends at the tail, compacting consumed head space only when
+// the backing storage is full (occupancy is bounded by the issue width,
+// since every speculation point resolves the cycle after it issues).
+func (m *Machine) infPush(sp specPoint) {
+	if len(m.inflight) == cap(m.inflight) && m.infHead > 0 {
+		n := copy(m.inflight, m.inflight[m.infHead:])
+		m.inflight = m.inflight[:n]
+		m.infHead = 0
+	}
+	m.inflight = append(m.inflight, sp)
+}
+
+func (m *Machine) infPop() {
+	m.infHead++
+	if m.infHead == len(m.inflight) {
+		m.inflight, m.infHead = m.inflight[:0], 0
+	}
+}
+
+func (m *Machine) infClear() {
+	m.inflight, m.infHead = m.inflight[:0], 0
+}
+
+// ---- register undo journal ----
+
+// jMark returns the absolute journal position; writes recorded at or after
+// a speculation point's mark are younger than it.
+func (m *Machine) jMark() int64 { return m.jBase + int64(len(m.journal)) }
+
+// journalWrite records the pre-write state of register d. When nothing is
+// in flight the journal can never be rewound, so it is reset in place
+// first — that keeps its live region bounded by the writes of the last
+// unresolved speculation window (a few issue groups), not the whole run.
+func (m *Machine) journalWrite(d isa.Reg) {
+	if m.infLen() == 0 && len(m.journal) > 0 {
+		m.jBase += int64(len(m.journal))
+		m.journal = m.journal[:0]
+	}
+	m.journal = append(m.journal, regUndo{
+		val:    m.st.Regs[d],
+		ready:  m.regReady[d],
+		reg:    d,
+		poison: m.st.Poison[d],
+	})
+}
+
+// rewindJournal undoes register writes newest-first back to mark and
+// truncates the journal there, restoring the register file, poison bits
+// and scoreboard exactly as they were when the mark was taken.
+func (m *Machine) rewindJournal(mark int64) {
+	tgt := int(mark - m.jBase)
+	for i := len(m.journal) - 1; i >= tgt; i-- {
+		u := &m.journal[i]
+		m.st.Regs[u.reg] = u.val
+		m.st.Poison[u.reg] = u.poison
+		m.regReady[u.reg] = u.ready
+	}
+	m.journal = m.journal[:tgt]
+}
+
+// releaseJournal discards undo records older than the oldest in-flight
+// speculation point — no surviving mark can reach them. The copy-down
+// moves at most the live window (bounded by the issue width), so it
+// amortizes to O(1) per committed speculation point.
+func (m *Machine) releaseJournal() {
+	keep := m.jBase + int64(len(m.journal))
+	if m.infLen() > 0 {
+		keep = m.infFront().jMark
+	}
+	cut := int(keep - m.jBase)
+	if cut <= 0 {
+		return
+	}
+	n := copy(m.journal, m.journal[cut:])
+	m.journal = m.journal[:n]
+	m.jBase = keep
+}
+
 // ---- resolution ----
 
 func (m *Machine) resolve() {
-	for len(m.inflight) > 0 && m.inflight[0].resolveAt <= m.now {
-		sp := m.inflight[0]
-		m.inflight = m.inflight[1:]
+	for m.infLen() > 0 && m.infFront().resolveAt <= m.now {
+		// sp stays a pointer into the queue's backing array: infPop only
+		// advances the head, and nothing pushes before this iteration is
+		// done with it.
+		sp := m.infFront()
+		m.infPop()
 		fe := &sp.fe
+		ins := &m.im.Instrs[fe.pc]
 		addr := m.im.PCAddr(fe.pc)
 
-		switch fe.ins.Op {
+		switch ins.Op {
 		case isa.BR:
 			m.stats.CondBranches++
-			bs := m.stats.branch(fe.ins.BranchID)
+			bs := m.stats.branch(ins.BranchID)
 			bs.Execs++
 			if sp.mispredict {
 				m.stats.BrMispredicts++
@@ -306,11 +557,11 @@ func (m *Machine) resolve() {
 			}
 			m.pred.Update(addr, sp.actualTaken, fe.meta)
 			if sp.actualTaken {
-				m.btb.Insert(addr, fe.ins.Target)
+				m.btb.Insert(addr, ins.Target)
 			}
 		case isa.RESOLVE:
 			m.stats.Resolves++
-			bs := m.stats.branch(fe.ins.BranchID)
+			bs := m.stats.branch(ins.BranchID)
 			bs.Execs++
 			if e, ok := m.DBB.Read(fe.dbbIdx); ok {
 				if sp.mispredict {
@@ -334,23 +585,27 @@ func (m *Machine) resolve() {
 		if sp.mispredict {
 			if m.Sink != nil {
 				cause := trace.CauseBranch
-				switch fe.ins.Op {
+				switch ins.Op {
 				case isa.RESOLVE:
 					cause = trace.CauseResolve
 					m.Sink.Emit(trace.Event{Kind: trace.KindResolveFire, Cause: cause, Cycle: m.now,
-						Seq: fe.seq, PC: fe.pc, Ins: fe.ins, Val: int64(sp.redirectPC)})
+						Seq: fe.seq, PC: fe.pc, Ins: *ins, Val: int64(sp.redirectPC)})
 				case isa.RET:
 					cause = trace.CauseReturn
 				}
 				m.Sink.Emit(trace.Event{Kind: trace.KindMispredict, Cause: cause, Cycle: m.now,
-					Seq: fe.seq, PC: fe.pc, Ins: fe.ins, Val: int64(sp.redirectPC)})
+					Seq: fe.seq, PC: fe.pc, Ins: *ins, Val: int64(sp.redirectPC)})
 			}
 			m.flush(sp)
 			return
 		}
+		m.releaseJournal()
+		if m.cfg.debugCheckpoints {
+			delete(m.debugSnaps, fe.seq)
+		}
 		if m.Sink != nil {
 			m.Sink.Emit(trace.Event{Kind: trace.KindCommit, Cycle: m.now,
-				Seq: fe.seq, PC: fe.pc, Ins: fe.ins})
+				Seq: fe.seq, PC: fe.pc, Ins: *ins})
 		}
 	}
 }
@@ -368,9 +623,10 @@ func (m *Machine) flush(sp *specPoint) {
 	m.stats.WrongPathIssued += wrongPath
 	m.stats.SquashedFetched += int64(m.fbLen())
 	m.fbClear()
-	m.inflight = m.inflight[:0] // all remaining are younger
+	m.infClear() // all remaining are younger
 
-	// Squash buffered stores younger than the speculation point.
+	// Squash buffered stores younger than the speculation point, and
+	// invalidate the last-writer index wholesale (generation bump).
 	keep := m.sb[:0]
 	for _, e := range m.sb {
 		if e.seq < sp.fe.seq {
@@ -378,11 +634,14 @@ func (m *Machine) flush(sp *specPoint) {
 		}
 	}
 	m.sb = keep
+	m.sbGen++
 
-	m.st.Regs = sp.regs
-	m.st.Poison = sp.poison
+	// Rewind wrong-path register writes, then discard the now-dead
+	// journal (nothing is in flight anymore).
+	m.rewindJournal(sp.jMark)
+	m.releaseJournal()
 	m.st.Halted = sp.halted
-	m.regReady = sp.regReady
+	m.verifyCheckpoint(sp)
 
 	if m.haltSeq > sp.fe.seq {
 		m.haltSeq = -1
@@ -403,13 +662,31 @@ func (m *Machine) flush(sp *specPoint) {
 	m.stats.Flushes++
 }
 
+// verifyCheckpoint cross-checks the journal-rewound state against the full
+// snapshot taken at issue (Config.debugCheckpoints only; no-op otherwise).
+func (m *Machine) verifyCheckpoint(sp *specPoint) {
+	if !m.cfg.debugCheckpoints {
+		return
+	}
+	snap := m.debugSnaps[sp.fe.seq]
+	if snap == nil {
+		panic(fmt.Sprintf("pipeline: no debug snapshot for speculation point seq %d", sp.fe.seq))
+	}
+	if m.st.Regs != snap.regs || m.st.Poison != snap.poison ||
+		m.regReady != snap.regReady || m.st.Halted != snap.halted {
+		panic(fmt.Sprintf("pipeline: undo-log restore diverged from full snapshot at seq %d (pc %d)",
+			sp.fe.seq, sp.fe.pc))
+	}
+	clear(m.debugSnaps) // every other pending snapshot was squashed
+}
+
 // commitFaultCheck surfaces a deferred fault once its instruction is no
 // longer covered by any older speculation point (i.e. it committed).
 func (m *Machine) commitFaultCheck() error {
 	if m.pendFaultSeq < 0 {
 		return nil
 	}
-	if len(m.inflight) == 0 || m.inflight[0].fe.seq > m.pendFaultSeq {
+	if m.infLen() == 0 || m.infFront().fe.seq > m.pendFaultSeq {
 		if m.Sink != nil {
 			var addr uint64
 			var f *mem.Fault
@@ -424,11 +701,11 @@ func (m *Machine) commitFaultCheck() error {
 	return nil
 }
 
-// ---- store buffer ----
+// ---- store buffer drain ----
 
 func (m *Machine) frontier() int64 {
-	if len(m.inflight) > 0 {
-		return m.inflight[0].fe.seq
+	if m.infLen() > 0 {
+		return m.infFront().fe.seq
 	}
 	return math.MaxInt64
 }
@@ -440,7 +717,10 @@ func (m *Machine) drainStores() {
 		m.mem.MustStore(m.sb[i].addr, m.sb[i].val)
 		i++
 	}
-	m.sb = m.sb[i:]
+	if i > 0 {
+		n := copy(m.sb, m.sb[i:])
+		m.sb = m.sb[:n]
+	}
 }
 
 func (m *Machine) drainAll() {
@@ -516,15 +796,15 @@ func (m *Machine) issue() {
 	var fuUsed [isa.NumFUClasses]int
 	for m.fbLen() > 0 && issued < m.cfg.Width {
 		fe := &m.fb[m.fbHead]
-		if fe.readyAt > m.now {
+		if fe.fetchedAt+m.feDelay > m.now {
 			if issued == 0 {
 				m.stats.EmptyFetchCycles++
 				m.noteStall(stallEmpty)
 			}
 			return
 		}
-		a, b, c := fe.ins.Uses()
-		if !m.opReady(a) || !m.opReady(b) || !m.opReady(c) {
+		pd := &m.pre[fe.pc]
+		if !m.opReady(pd.uses[0]) || !m.opReady(pd.uses[1]) || !m.opReady(pd.uses[2]) {
 			if issued == 0 {
 				m.stats.OperandStallCycles++
 				// Attribute the head-of-line stall to the conditional
@@ -533,16 +813,16 @@ func (m *Machine) issue() {
 				// its condition slice).
 				cause := uint8(stallOperand)
 				for k := 0; k < m.fbLen() && k < 6; k++ {
-					ins := &m.fb[m.fbHead+k].ins
-					if ins.Op == isa.RESOLVE {
+					kpd := &m.pre[m.fb[m.fbHead+k].pc]
+					if kpd.op == isa.RESOLVE {
 						m.stats.ResolveStallCycles++
-						m.stats.branch(ins.BranchID).StallCycles++
+						m.stats.branch(m.im.Instrs[m.fb[m.fbHead+k].pc].BranchID).StallCycles++
 						cause = stallResolve
 						break
 					}
-					if ins.Op == isa.BR {
+					if kpd.op == isa.BR {
 						m.stats.BranchStallCycles++
-						m.stats.branch(ins.BranchID).StallCycles++
+						m.stats.branch(m.im.Instrs[m.fb[m.fbHead+k].pc].BranchID).StallCycles++
 						cause = stallBranch
 						break
 					}
@@ -551,7 +831,7 @@ func (m *Machine) issue() {
 			}
 			return
 		}
-		fu := fe.ins.Op.Unit()
+		fu := pd.fu
 		if fuUsed[fu] >= m.fuLimit(fu) {
 			if issued == 0 {
 				m.stats.FUStallCycles++
@@ -559,12 +839,13 @@ func (m *Machine) issue() {
 			}
 			return
 		}
-		entry := *fe
-		m.fbPop()
 		fuUsed[fu]++
 		issued++
-		m.issueOne(entry)
-		if entry.ins.Op == isa.HALT {
+		// fe stays valid across the pop: fbPop only advances the head,
+		// and nothing pushes until the next fetch stage.
+		m.fbPop()
+		m.issueOne(fe, pd)
+		if pd.op == isa.HALT {
 			return
 		}
 	}
@@ -574,7 +855,7 @@ func (m *Machine) issue() {
 	}
 }
 
-func (m *Machine) issueOne(fe fetchEntry) {
+func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
 	m.stats.Issued++
 	m.stats.FetchToIssue.Observe(m.now - fe.fetchedAt)
 	if m.stallRun > 0 {
@@ -584,50 +865,71 @@ func (m *Machine) issueOne(fe fetchEntry) {
 		m.stats.RepairPenalty.Observe(m.now - m.repairStart)
 		m.repairStart = -1
 	}
+	ins := &m.im.Instrs[fe.pc]
 	if m.Sink != nil {
 		m.Sink.Emit(trace.Event{Kind: trace.KindIssue, Cycle: m.now,
-			Seq: fe.seq, PC: fe.pc, Ins: fe.ins})
+			Seq: fe.seq, PC: fe.pc, Ins: *ins})
 	}
 
-	var sp *specPoint
-	if op := fe.ins.Op; op == isa.BR || op == isa.RESOLVE || op == isa.RET {
-		sp = &specPoint{
-			fe:       fe,
-			regs:     m.st.Regs,
-			poison:   m.st.Poison,
-			regReady: m.regReady,
-			halted:   m.st.Halted,
+	isSpec := pd.flags&pdSpec != 0
+	var jmark int64
+	var wasHalted bool
+	if isSpec {
+		jmark, wasHalted = m.jMark(), m.st.Halted
+		if m.cfg.debugCheckpoints {
+			if m.debugSnaps == nil {
+				m.debugSnaps = map[int64]*debugSnap{}
+			}
+			m.debugSnaps[fe.seq] = &debugSnap{
+				regs: m.st.Regs, poison: m.st.Poison,
+				regReady: m.regReady, halted: m.st.Halted,
+			}
 		}
+	}
+	if d := pd.def; d != isa.NoReg {
+		m.journalWrite(d)
 	}
 
 	m.st.PC = fe.pc
 	m.curSeq = fe.seq
-	res, err := exec.Step(m.st, fe.ins, false)
+	res, err := exec.Step(m.st, *ins, false)
 	if err != nil && m.pendFaultSeq < 0 {
-		// Defer: real only if this instruction commits.
-		m.pendFaultSeq, m.pendFaultErr = fe.seq, err
+		// Defer: real only if this instruction commits. Copy a sentinel
+		// Fault into stable storage so later wrong-path probes (which
+		// reuse the sentinel) cannot clobber the deferred one.
+		perr := err
+		if f, ok := perr.(*mem.Fault); ok {
+			m.pendFault = *f
+			perr = &m.pendFault
+		}
+		m.pendFaultSeq, m.pendFaultErr = fe.seq, perr
 	}
 
-	completion := m.now + int64(fe.ins.Op.Latency())
+	completion := m.now + int64(pd.latency)
 	if res.IsMem && err == nil {
 		switch {
-		case fe.ins.IsLoad():
-			if m.sbForwarded(res.MemAddr) {
+		case pd.flags&pdLoad != 0:
+			if _, fwd := m.sbLookup(res.MemAddr); fwd {
 				completion = m.now + int64(m.cfg.Hier.L1D.Latency)
 			} else {
 				completion = m.Hier.Data(m.now, res.MemAddr)
 			}
-		case fe.ins.IsStore():
+		case pd.flags&pdStore != 0:
 			m.Hier.Data(m.now, res.MemAddr) // address/tag access; nothing waits
 		}
 	}
-	if d := fe.ins.Def(); d != isa.NoReg {
+	if d := pd.def; d != isa.NoReg {
 		m.regReady[d] = completion
 	}
 
-	if sp != nil {
-		sp.resolveAt = m.now + 1
-		switch fe.ins.Op {
+	if isSpec {
+		sp := specPoint{
+			fe:        *fe,
+			resolveAt: m.now + 1,
+			halted:    wasHalted,
+			jMark:     jmark,
+		}
+		switch pd.op {
 		case isa.BR:
 			sp.actualTaken = res.CondVal
 			sp.mispredict = err == nil && res.CondVal != fe.predTaken
@@ -641,23 +943,12 @@ func (m *Machine) issueOne(fe fetchEntry) {
 			sp.redirectPC = res.NextPC
 		}
 		sp.issuedSnapshot = m.stats.Issued
-		m.inflight = append(m.inflight, sp)
+		m.infPush(sp)
 	}
 
-	if fe.ins.Op == isa.HALT {
+	if pd.op == isa.HALT {
 		m.haltSeq = fe.seq
 	}
-}
-
-// sbForwarded reports whether a load to addr would have been satisfied by
-// the store buffer (used for timing only; the value came via sbView).
-func (m *Machine) sbForwarded(addr uint64) bool {
-	for i := len(m.sb) - 1; i >= 0; i-- {
-		if m.sb[i].addr == addr {
-			return true
-		}
-	}
-	return false
 }
 
 // ---- fetch buffer queue ----
@@ -724,8 +1015,6 @@ func (m *Machine) fetch() {
 		fe := fetchEntry{
 			seq:       m.seq,
 			pc:        m.fetchPC,
-			ins:       ins,
-			readyAt:   m.now + int64(m.cfg.FrontEndDepth) - 1,
 			fetchedAt: m.now,
 		}
 		m.seq++
