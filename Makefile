@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-all results
+.PHONY: all build test check fmt vet race bench bench-all bench-diff results
 
 all: build
 
@@ -39,6 +39,14 @@ bench:
 # Quick smoke pass over every table/figure benchmark.
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Throughput-regression gate: rerun the Sim benchmarks and compare the
+# per-benchmark mean sim-MIPS against the committed baseline with the
+# in-tree comparator (no benchstat dependency). Fails on a >10% drop.
+bench-diff:
+	$(GO) test -bench Sim -benchmem -count 3 -run '^$$' . | tee results/.bench_new.txt
+	$(GO) run ./cmd/benchdiff results/bench_baseline.txt results/.bench_new.txt
+	@rm -f results/.bench_new.txt
 
 # Regenerate the committed telemetry baselines under results/ through the
 # experiment engine, then fail if they drifted from the committed files.

@@ -25,6 +25,8 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache  = flag.Bool("no-cache", false, "disable the on-disk run cache")
+		progress = flag.Bool("progress", false, "render a live engine status line on stderr")
+		listen   = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
 	)
 	flag.Parse()
 
@@ -42,6 +44,20 @@ func main() {
 			log.Printf("warning: run cache disabled: %v", err)
 		} else {
 			o.Cache = c
+		}
+	}
+	if *progress || *listen != "" {
+		o.Monitor = engine.NewMonitor()
+		if *listen != "" {
+			addr, err := o.Monitor.Serve(*listen)
+			if err != nil {
+				log.Fatalf("listen: %v", err)
+			}
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/pprof)", addr)
+		}
+		if *progress {
+			stop := o.Monitor.StartStatus(os.Stderr, 0)
+			defer stop()
 		}
 	}
 	names := harness.AblationBenchmarks()

@@ -1,0 +1,129 @@
+// Command benchdiff compares simulator-throughput benchmark runs without
+// external tooling. It parses two `go test -bench` output files, extracts
+// the sim-MIPS metric each Sim benchmark reports, and compares per-benchmark
+// means. A drop larger than -max-regress (default 10%) on any benchmark is
+// a regression and exits non-zero — the gate `make bench-diff` applies
+// against the committed results/bench_baseline.txt.
+//
+//	go test -bench Sim -count 5 -run '^$' . | tee new.txt
+//	benchdiff results/bench_baseline.txt new.txt
+//
+// Benchmarks present in only one file are reported but do not fail the
+// gate: the baseline predates newly added benchmarks, and a renamed
+// benchmark should update the baseline, not silently pass.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench reads `go test -bench` output and returns, per benchmark
+// name (with the -N GOMAXPROCS suffix stripped), every sim-MIPS sample.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// Custom metrics appear as "<value> <unit>" pairs after ns/op.
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "sim-MIPS" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad sim-MIPS value %q: %v", path, fields[i], err)
+			}
+			out[name] = append(out[name], v)
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	maxRegress := flag.Float64("max-regress", 10, "maximum tolerated sim-MIPS drop in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] baseline.txt new.txt")
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := parseBench(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(base) == 0 {
+		log.Fatalf("%s: no sim-MIPS benchmark lines found", flag.Arg(0))
+	}
+	if len(cur) == 0 {
+		log.Fatalf("%s: no sim-MIPS benchmark lines found", flag.Arg(1))
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-28s %12s %12s %9s\n", "benchmark", "old sim-MIPS", "new sim-MIPS", "delta")
+	failed := false
+	for _, n := range names {
+		nu, ok := cur[n]
+		if !ok {
+			fmt.Printf("%-28s %12.2f %12s %9s\n", n, mean(base[n]), "-", "missing")
+			continue
+		}
+		ob, nb := mean(base[n]), mean(nu)
+		pct := (nb - ob) / ob * 100
+		mark := ""
+		if -pct > *maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s %12.2f %12.2f %+8.1f%%%s\n", n, ob, nb, pct, mark)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			fmt.Printf("%-28s %12s %12.2f %9s\n", n, "-", mean(cur[n]), "new")
+		}
+	}
+	if failed {
+		log.Fatalf("sim-MIPS regression beyond %.0f%% tolerance", *maxRegress)
+	}
+	fmt.Printf("ok: no benchmark regressed more than %.0f%%\n", *maxRegress)
+}

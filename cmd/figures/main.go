@@ -18,9 +18,61 @@ import (
 
 	"vanguard/internal/engine"
 	"vanguard/internal/harness"
+	"vanguard/internal/sample"
 	"vanguard/internal/textplot"
+	"vanguard/internal/trace"
 	"vanguard/internal/workload"
 )
+
+// dumpSamples renders the samples sections of a telemetry report: CSV on
+// stdout by default (one row per window, see harness.WriteSamplesCSV),
+// or per-run sparklines with -plot.
+func dumpSamples(path string, plot bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := trace.ReadReport(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !plot {
+		rows, err := harness.WriteSamplesCSV(os.Stdout, rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rows == 0 {
+			log.Fatalf("%s has no samples sections (re-run the producing tool with -sample-window)", path)
+		}
+		log.Printf("%d window rows", rows)
+		return
+	}
+	plotted := 0
+	for _, b := range rep.Benchmarks {
+		for _, run := range b.Runs {
+			sr := run.Samples
+			if sr == nil || len(sr.Windows) == 0 {
+				continue
+			}
+			name := b.Name
+			if run.Label != "" {
+				name += "/" + run.Label
+			}
+			if run.Input != "" {
+				name += "/" + run.Input
+			}
+			fmt.Printf("%s w%d (%d windows of %d cycles):\n", name, run.Width, len(sr.Windows), sr.WindowCycles)
+			textplot.Spark(os.Stdout, "  ipc        ", sr.Values(func(w *sample.Window) float64 { return w.IPC() }), 60)
+			textplot.Spark(os.Stdout, "  mispredicts", sr.Values(func(w *sample.Window) float64 { return float64(w.Mispredicts()) }), 60)
+			textplot.Spark(os.Stdout, "  l1d misses ", sr.Values(func(w *sample.Window) float64 { return float64(w.L1DMisses) }), 60)
+			plotted++
+		}
+	}
+	if plotted == 0 {
+		log.Fatalf("%s has no samples sections (re-run the producing tool with -sample-window)", path)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -28,13 +80,21 @@ func main() {
 	var (
 		fig         = flag.Int("fig", 0, "figure to regenerate (2 or 3)")
 		sensitivity = flag.Bool("sensitivity", false, "run the Section 5.3 predictor ladder")
+		samples     = flag.String("samples", "", "dump the samples sections of a telemetry report (vgrun/spec -json -sample-window output) as CSV on stdout; with -plot, render sparklines instead")
 		fast        = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
 		plot        = flag.Bool("plot", false, "render ASCII charts instead of tables")
 		jobs        = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir    = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache     = flag.Bool("no-cache", false, "disable the on-disk run cache")
+		progress    = flag.Bool("progress", false, "render a live engine status line on stderr")
+		listen      = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
 	)
 	flag.Parse()
+
+	if *samples != "" {
+		dumpSamples(*samples, *plot)
+		return
+	}
 
 	in := workload.TrainInput()
 	o := harness.DefaultOptions()
@@ -53,6 +113,20 @@ func main() {
 			log.Printf("warning: run cache disabled: %v", err)
 		} else {
 			o.Cache = c
+		}
+	}
+	if *progress || *listen != "" {
+		o.Monitor = engine.NewMonitor()
+		if *listen != "" {
+			addr, err := o.Monitor.Serve(*listen)
+			if err != nil {
+				log.Fatalf("listen: %v", err)
+			}
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/pprof)", addr)
+		}
+		if *progress {
+			stop := o.Monitor.StartStatus(os.Stderr, 0)
+			defer stop()
 		}
 	}
 

@@ -26,7 +26,9 @@ import (
 
 	"vanguard/internal/engine"
 	"vanguard/internal/harness"
+	"vanguard/internal/sample"
 	"vanguard/internal/textplot"
+	"vanguard/internal/trace"
 	"vanguard/internal/workload"
 )
 
@@ -64,22 +66,35 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spec: ")
 	var (
-		table    = flag.Int("table", 0, "regenerate a table (2)")
-		fig      = flag.Int("fig", 0, "regenerate a figure (8-14)")
-		icache   = flag.Bool("icache", false, "run the Section 6.1 I-cache study")
-		csv      = flag.String("csv", "", "write CSV results for all suites to a file")
-		jsonF    = flag.String("json", "", "write a structured telemetry report for all suites to a file")
-		report   = flag.String("report", "", "write a consolidated markdown report for all suites to a file")
-		all      = flag.Bool("all", false, "run every table and figure")
-		fast     = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
-		plot     = flag.Bool("plot", false, "also render speedup figures as ASCII bar charts")
-		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
-		noCache  = flag.Bool("no-cache", false, "disable the on-disk run cache")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to a file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to a file on exit")
+		table     = flag.Int("table", 0, "regenerate a table (2)")
+		fig       = flag.Int("fig", 0, "regenerate a figure (8-14)")
+		icache    = flag.Bool("icache", false, "run the Section 6.1 I-cache study")
+		csv       = flag.String("csv", "", "write CSV results for all suites to a file")
+		jsonF     = flag.String("json", "", "write a structured telemetry report for all suites to a file")
+		report    = flag.String("report", "", "write a consolidated markdown report for all suites to a file")
+		all       = flag.Bool("all", false, "run every table and figure")
+		fast      = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
+		plot      = flag.Bool("plot", false, "also render speedup figures as ASCII bar charts")
+		schemaF   = flag.Bool("schema", false, "print the telemetry schema version -json would emit, then exit")
+		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a per-run counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
+		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
+		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
+		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
+		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to a file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to a file on exit")
 	)
 	flag.Parse()
+	if *schemaF {
+		// Reports carry samples (and the v2 tag) only when sampling is on.
+		if *sampleWin > 0 {
+			fmt.Println(trace.SchemaV2)
+		} else {
+			fmt.Println(trace.Schema)
+		}
+		return
+	}
 	stopProfiles := startProfiles(*cpuProf, *memProf)
 	defer stopProfiles()
 	o := harness.DefaultOptions()
@@ -89,12 +104,27 @@ func main() {
 	es := &harness.EngineStats{}
 	o.Jobs = *jobs
 	o.EngineStats = es
+	o.SampleWindow = *sampleWin
 	if !*noCache && *cacheDir != "" {
 		c, err := engine.Open(*cacheDir)
 		if err != nil {
 			log.Printf("warning: run cache disabled: %v", err)
 		} else {
 			o.Cache = c
+		}
+	}
+	if *progress || *listen != "" {
+		o.Monitor = engine.NewMonitor()
+		if *listen != "" {
+			addr, err := o.Monitor.Serve(*listen)
+			if err != nil {
+				log.Fatalf("listen: %v", err)
+			}
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/pprof)", addr)
+		}
+		if *progress {
+			stop := o.Monitor.StartStatus(os.Stderr, 0)
+			defer stop()
 		}
 	}
 

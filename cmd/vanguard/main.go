@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"vanguard/internal/bpred"
+	"vanguard/internal/engine"
 	"vanguard/internal/harness"
 	"vanguard/internal/metrics"
 	"vanguard/internal/workload"
@@ -30,6 +32,8 @@ func main() {
 		iters     = flag.Int64("iters", 0, "override REF iteration count")
 		dump      = flag.Bool("dump", false, "disassemble the baseline and experimental binaries")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
+		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
 	)
 	flag.Parse()
 
@@ -50,6 +54,20 @@ func main() {
 	}
 	o := harness.DefaultOptions()
 	o.Widths = []int{*width}
+	if *progress || *listen != "" {
+		o.Monitor = engine.NewMonitor()
+		if *listen != "" {
+			addr, err := o.Monitor.Serve(*listen)
+			if err != nil {
+				log.Fatalf("listen: %v", err)
+			}
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/pprof)", addr)
+		}
+		if *progress {
+			stop := o.Monitor.StartStatus(os.Stderr, 0)
+			defer stop()
+		}
+	}
 	if bpred.ByName(*predictor) == nil {
 		log.Fatalf("unknown predictor %q", *predictor)
 	}

@@ -34,6 +34,7 @@ import (
 	"vanguard/internal/mem"
 	"vanguard/internal/pipeline"
 	"vanguard/internal/profile"
+	"vanguard/internal/sample"
 	"vanguard/internal/sched"
 	"vanguard/internal/textplot"
 	"vanguard/internal/trace"
@@ -49,12 +50,15 @@ func main() {
 		maxInstrs = flag.Int64("max-instrs", 50_000_000, "functional instruction cap")
 		doTrace   = flag.Bool("trace", false, "print issue/mispredict events from the timing run (historical line format)")
 		traceAll  = flag.Bool("trace-all", false, "like -trace, but print every lifecycle event (fetch, commit, squash, DBB push/pop, cache misses, faults)")
-		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+") to this file")
+		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+", or "+trace.SchemaV2+" when sampling is on) to this file")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace_event timeline (open in chrome://tracing or ui.perfetto.dev) to this file")
 		noHists   = flag.Bool("no-hists", false, "suppress the ASCII histograms in the text report")
+		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
+		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
+		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to a file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to a file on exit")
 	)
@@ -137,11 +141,13 @@ func main() {
 	tracing := *doTrace || *traceAll || *chromeOut != "" || *cpuProf != ""
 	key := ""
 	if !tracing {
-		key = engine.Key("vgrun/v1", string(src), *width, *transform, *maxInstrs)
+		key = engine.Key("vgrun/v1", string(src), *width, *transform, *maxInstrs, *sampleWin)
 	}
 
 	runTiming := func(context.Context) (*pipeline.Stats, error) {
-		mach := pipeline.New(im, mem.New(), pipeline.DefaultConfig(*width))
+		cfg := pipeline.DefaultConfig(*width)
+		cfg.SampleWindow = *sampleWin
+		mach := pipeline.New(im, mem.New(), cfg)
 
 		// An always-on bounded ring keeps the most recent lifecycle events
 		// so a failing run can explain itself post mortem.
@@ -179,9 +185,27 @@ func main() {
 		return st, nil
 	}
 
+	var mon *engine.Monitor
+	if *progress || *listen != "" {
+		mon = engine.NewMonitor()
+		if *listen != "" {
+			addr, err := mon.Serve(*listen)
+			if err != nil {
+				log.Fatalf("listen: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "monitor listening on http://%s (/progress, /metrics, /debug/pprof)\n", addr)
+		}
+	}
+	var stopStatus func()
+	if *progress {
+		stopStatus = mon.StartStatus(os.Stderr, 0)
+	}
 	results, est, err := engine.Run(context.Background(),
-		engine.Config{Jobs: *jobs, Cache: cache},
+		engine.Config{Jobs: *jobs, Cache: cache, Monitor: mon},
 		[]engine.Unit[*pipeline.Stats]{{Label: "timing/" + flag.Arg(0), Key: key, Run: runTiming}})
+	if stopStatus != nil {
+		stopStatus()
+	}
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
 	}
@@ -205,6 +229,23 @@ func main() {
 		}
 		textplot.Hist(os.Stdout, "branch stall run length (cycles)", &st.StallRunBranch, 40)
 		textplot.Hist(os.Stdout, "empty-fetch stall run length (cycles)", &st.StallRunEmpty, 40)
+	}
+	if sr := st.Samples; sr != nil && len(sr.Windows) > 0 {
+		fmt.Printf("\ntime series (%d windows of %d cycles", len(sr.Windows), sr.WindowCycles)
+		if sr.Dropped > 0 {
+			fmt.Printf(", %d oldest dropped", sr.Dropped)
+		}
+		fmt.Println("):")
+		textplot.Spark(os.Stdout, "  ipc          ", sr.Values(func(w *sample.Window) float64 { return w.IPC() }), 60)
+		textplot.Spark(os.Stdout, "  mispredicts  ", sr.Values(func(w *sample.Window) float64 { return float64(w.Mispredicts()) }), 60)
+		if st.Predicts > 0 {
+			textplot.Spark(os.Stdout, "  resolves     ", sr.Values(func(w *sample.Window) float64 { return float64(w.Resolves) }), 60)
+			textplot.Spark(os.Stdout, "  dbb high-water", sr.Values(func(w *sample.Window) float64 { return float64(w.DBBHighWater) }), 60)
+		}
+		textplot.Spark(os.Stdout, "  l1d misses   ", sr.Values(func(w *sample.Window) float64 { return float64(w.L1DMisses) }), 60)
+		textplot.Spark(os.Stdout, "  stall cycles ", sr.Values(func(w *sample.Window) float64 {
+			return float64(w.StallEmpty + w.StallOperand + w.StallBranch + w.StallResolve + w.StallFU)
+		}), 60)
 	}
 
 	if *jsonOut != "" {

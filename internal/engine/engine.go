@@ -42,6 +42,10 @@ type Config struct {
 	// result and stores newly computed ones. Results round-trip through
 	// JSON, so T must marshal losslessly enough for downstream use.
 	Cache *Cache
+	// Monitor, when non-nil, receives live progress (unit starts/ends,
+	// cache hits, failures) for the -progress status line and the
+	// -listen HTTP endpoints. Several Run calls may share one monitor.
+	Monitor *Monitor
 }
 
 // UnitStat records how one unit executed.
@@ -81,6 +85,9 @@ func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, e
 	if len(units) == 0 {
 		return nil, st, nil
 	}
+	if cfg.Monitor != nil {
+		cfg.Monitor.addRun(len(units), jobs)
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -105,8 +112,16 @@ func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, e
 	runUnit := func(i int) {
 		u := units[i]
 		t0 := time.Now()
-		done := func(hit bool) {
-			st.Units[i] = UnitStat{Label: u.Label, Wall: time.Since(t0), CacheHit: hit}
+		slot := -1
+		if cfg.Monitor != nil {
+			slot = cfg.Monitor.beginUnit(u.Label)
+		}
+		done := func(hit, failed bool) {
+			wall := time.Since(t0)
+			st.Units[i] = UnitStat{Label: u.Label, Wall: wall, CacheHit: hit}
+			if slot >= 0 {
+				cfg.Monitor.endUnit(slot, wall, hit, failed)
+			}
 		}
 		cacheable := cfg.Cache != nil && u.Key != ""
 		if cacheable {
@@ -117,20 +132,20 @@ func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, e
 					mu.Lock()
 					hits++
 					mu.Unlock()
-					done(true)
+					done(true, false)
 					return
 				}
 				// A corrupt entry is treated as a miss and recomputed.
 			}
 		}
 		if ctx.Err() != nil {
-			done(false)
+			done(false, false)
 			return
 		}
 		v, err := u.Run(ctx)
 		if err != nil {
 			fail(i, fmt.Errorf("%s: %w", u.Label, err))
-			done(false)
+			done(false, true)
 			return
 		}
 		results[i] = v
@@ -142,7 +157,7 @@ func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, e
 			misses++
 			mu.Unlock()
 		}
-		done(false)
+		done(false, false)
 	}
 
 	start := time.Now()

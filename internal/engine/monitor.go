@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Monitor makes an engine run inspectable while it executes: workers
+// report unit starts/ends into it, and it renders a consistent progress
+// snapshot as JSON (/progress), Prometheus text (/metrics), or a
+// single-line terminal status. One monitor can span several engine.Run
+// calls (a CLI invocation enqueues unit sets as it goes); totals are
+// additive. All methods are safe for concurrent use.
+type Monitor struct {
+	mu        sync.Mutex
+	started   time.Time
+	total     int
+	done      int
+	failed    int
+	cacheHits int
+	jobs      int // high-water of configured workers, for the idle-ETA divisor
+	ewma      time.Duration
+	active    map[int]activeUnit
+	nextSlot  int
+}
+
+type activeUnit struct {
+	label string
+	since time.Time
+}
+
+// ewmaAlpha weights the latest unit wall time in the moving average:
+// ewma = (1-alpha)*ewma + alpha*latest.
+const ewmaAlpha = 0.2
+
+// NewMonitor returns an empty monitor; hand it to engine.Config.Monitor
+// and to Serve/StartStatus.
+func NewMonitor() *Monitor {
+	return &Monitor{started: time.Now(), active: make(map[int]activeUnit)}
+}
+
+// addRun records a new engine.Run joining this monitor.
+func (m *Monitor) addRun(units, jobs int) {
+	m.mu.Lock()
+	m.total += units
+	if jobs > m.jobs {
+		m.jobs = jobs
+	}
+	m.mu.Unlock()
+}
+
+// beginUnit registers a unit starting on some worker and returns the
+// slot token endUnit takes.
+func (m *Monitor) beginUnit(label string) int {
+	m.mu.Lock()
+	slot := m.nextSlot
+	m.nextSlot++
+	m.active[slot] = activeUnit{label: label, since: time.Now()}
+	m.mu.Unlock()
+	return slot
+}
+
+// endUnit retires a unit: cache hits complete without touching the
+// latency average (they measure the cache, not the simulator), failures
+// count separately, and everything else feeds the EWMA.
+func (m *Monitor) endUnit(slot int, wall time.Duration, cacheHit, failed bool) {
+	m.mu.Lock()
+	delete(m.active, slot)
+	m.done++
+	switch {
+	case failed:
+		m.failed++
+	case cacheHit:
+		m.cacheHits++
+	default:
+		if m.ewma == 0 {
+			m.ewma = wall
+		} else {
+			m.ewma = time.Duration((1-ewmaAlpha)*float64(m.ewma) + ewmaAlpha*float64(wall))
+		}
+	}
+	m.mu.Unlock()
+}
+
+// WorkerUnit is one in-flight unit in a Progress snapshot.
+type WorkerUnit struct {
+	Slot      int     `json:"slot"`
+	Label     string  `json:"label"`
+	RunningMS float64 `json:"running_ms"`
+}
+
+// Progress is one consistent snapshot of an engine run. ETA is the
+// remaining-unit estimate remaining×EWMA÷active-workers; it is zero
+// until the first computed unit retires.
+type Progress struct {
+	Total      int          `json:"total"`
+	Done       int          `json:"done"`
+	Failed     int          `json:"failed"`
+	CacheHits  int          `json:"cache_hits"`
+	Workers    []WorkerUnit `json:"workers,omitempty"`
+	EWMAUnitMS float64      `json:"ewma_unit_ms"`
+	ETAMS      float64      `json:"eta_ms"`
+	ElapsedMS  float64      `json:"elapsed_ms"`
+}
+
+// Snapshot returns the current progress under one lock acquisition, so
+// every field is mutually consistent.
+func (m *Monitor) Snapshot() Progress {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := Progress{
+		Total:      m.total,
+		Done:       m.done,
+		Failed:     m.failed,
+		CacheHits:  m.cacheHits,
+		EWMAUnitMS: float64(m.ewma) / float64(time.Millisecond),
+		ElapsedMS:  float64(now.Sub(m.started)) / float64(time.Millisecond),
+	}
+	for slot, a := range m.active {
+		p.Workers = append(p.Workers, WorkerUnit{
+			Slot: slot, Label: a.label,
+			RunningMS: float64(now.Sub(a.since)) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(p.Workers, func(i, j int) bool { return p.Workers[i].Slot < p.Workers[j].Slot })
+	if remaining := m.total - m.done; remaining > 0 && m.ewma > 0 {
+		div := len(m.active)
+		if div == 0 {
+			div = m.jobs
+		}
+		if div == 0 {
+			div = 1
+		}
+		p.ETAMS = float64(remaining) * p.EWMAUnitMS / float64(div)
+	}
+	return p
+}
+
+// StatusLine renders the snapshot as one terminal line (no newline), the
+// -progress display.
+func (m *Monitor) StatusLine() string {
+	p := m.Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d/%d units", p.Done, p.Total)
+	if p.Failed > 0 {
+		fmt.Fprintf(&sb, ", %d failed", p.Failed)
+	}
+	fmt.Fprintf(&sb, ", %d cache hits, %d active", p.CacheHits, len(p.Workers))
+	if p.EWMAUnitMS > 0 {
+		fmt.Fprintf(&sb, ", %.0f ms/unit", p.EWMAUnitMS)
+	}
+	if p.ETAMS > 0 {
+		fmt.Fprintf(&sb, ", ETA %s", time.Duration(p.ETAMS*float64(time.Millisecond)).Round(time.Second))
+	}
+	return sb.String()
+}
+
+// StartStatus redraws the status line on w every interval until the
+// returned stop function is called; stop erases the line. Intended for
+// stderr so it composes with redirected stdout reports.
+func (m *Monitor) StartStatus(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		width := 0
+		draw := func() {
+			line := m.StatusLine()
+			pad := width - len(line)
+			if pad < 0 {
+				pad = 0
+			}
+			fmt.Fprintf(w, "\r%s%s", line, strings.Repeat(" ", pad))
+			width = len(line)
+		}
+		for {
+			select {
+			case <-t.C:
+				draw()
+			case <-quit:
+				fmt.Fprintf(w, "\r%s\r", strings.Repeat(" ", width))
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		wg.Wait()
+	}
+}
+
+// Handler returns the monitor's HTTP surface: /progress (the Snapshot as
+// JSON), /metrics (Prometheus text exposition), and the standard
+// /debug/pprof endpoints, all on a private mux so attaching a monitor
+// never pollutes http.DefaultServeMux.
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		p := m.Snapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP vanguard_units_total Units enqueued on the engine.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_units_total gauge\nvanguard_units_total %d\n", p.Total)
+		fmt.Fprintf(w, "# HELP vanguard_units_done Units completed (including failures).\n")
+		fmt.Fprintf(w, "# TYPE vanguard_units_done gauge\nvanguard_units_done %d\n", p.Done)
+		fmt.Fprintf(w, "# HELP vanguard_units_failed Units that returned an error.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_units_failed gauge\nvanguard_units_failed %d\n", p.Failed)
+		fmt.Fprintf(w, "# HELP vanguard_cache_hits_total Units served from the run cache.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_cache_hits_total gauge\nvanguard_cache_hits_total %d\n", p.CacheHits)
+		fmt.Fprintf(w, "# HELP vanguard_workers_active Units currently executing.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_workers_active gauge\nvanguard_workers_active %d\n", len(p.Workers))
+		fmt.Fprintf(w, "# HELP vanguard_unit_latency_ewma_seconds EWMA wall time of computed units.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_unit_latency_ewma_seconds gauge\nvanguard_unit_latency_ewma_seconds %g\n", p.EWMAUnitMS/1000)
+		fmt.Fprintf(w, "# HELP vanguard_eta_seconds Estimated time to drain the remaining units.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_eta_seconds gauge\nvanguard_eta_seconds %g\n", p.ETAMS/1000)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port), serves Handler on it in a
+// background goroutine for the life of the process, and returns the
+// bound address.
+func (m *Monitor) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, m.Handler())
+	return ln.Addr().String(), nil
+}

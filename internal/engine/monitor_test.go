@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMonitorLiveRun is the acceptance test: during a live engine.Run,
+// /progress reports in-flight workers and /metrics exposes the counters
+// in Prometheus text format; after the run both show completion.
+func TestMonitorLiveRun(t *testing.T) {
+	mon := NewMonitor()
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+
+	const n = 6
+	release := make(chan struct{})
+	started := make(chan struct{}, n)
+	units := make([]Unit[int], n)
+	for i := range units {
+		i := i
+		units[i] = Unit[int]{
+			Label: fmt.Sprintf("unit-%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				started <- struct{}{}
+				<-release
+				return i * i, nil
+			},
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		results []int
+		stats   Stats
+		runErr  error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results, stats, runErr = Run(context.Background(), Config{Jobs: 2, Monitor: mon}, units)
+	}()
+
+	// Wait until both workers hold a unit, then inspect mid-run.
+	<-started
+	<-started
+	var p Progress
+	if err := json.Unmarshal([]byte(getBody(t, srv.URL+"/progress")), &p); err != nil {
+		t.Fatalf("/progress is not JSON: %v", err)
+	}
+	if p.Total != n {
+		t.Errorf("mid-run total = %d, want %d", p.Total, n)
+	}
+	if p.Done != 0 {
+		t.Errorf("mid-run done = %d, want 0 (units are blocked)", p.Done)
+	}
+	if len(p.Workers) != 2 {
+		t.Errorf("mid-run active workers = %d, want 2: %+v", len(p.Workers), p.Workers)
+	}
+	for _, wu := range p.Workers {
+		if !strings.HasPrefix(wu.Label, "unit-") {
+			t.Errorf("worker carries wrong label: %+v", wu)
+		}
+	}
+	metrics := getBody(t, srv.URL+"/metrics")
+	if !strings.Contains(metrics, fmt.Sprintf("vanguard_units_total %d", n)) ||
+		!strings.Contains(metrics, "vanguard_workers_active 2") {
+		t.Errorf("mid-run metrics wrong:\n%s", metrics)
+	}
+
+	close(release)
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(results) != n || results[3] != 9 {
+		t.Fatalf("results wrong: %v", results)
+	}
+	if stats.Jobs != 2 {
+		t.Errorf("stats.Jobs = %d", stats.Jobs)
+	}
+
+	p = Progress{}
+	if err := json.Unmarshal([]byte(getBody(t, srv.URL+"/progress")), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Done != n || p.Failed != 0 || len(p.Workers) != 0 {
+		t.Errorf("post-run progress = %+v, want done=%d failed=0 no workers", p, n)
+	}
+	if p.EWMAUnitMS <= 0 {
+		t.Errorf("post-run EWMA = %v, want > 0", p.EWMAUnitMS)
+	}
+	metrics = getBody(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("vanguard_units_done %d", n),
+		"vanguard_units_failed 0",
+		"vanguard_workers_active 0",
+		"# TYPE vanguard_unit_latency_ewma_seconds gauge",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("post-run metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// pprof is mounted on the monitor's private mux.
+	if body := getBody(t, srv.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline endpoint empty")
+	}
+}
+
+// TestMonitorFailuresAndHits checks the classification: failed units
+// count as failed, cache hits as hits, and neither feeds the EWMA.
+func TestMonitorFailuresAndHits(t *testing.T) {
+	mon := NewMonitor()
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := []Unit[int]{
+		{Label: "ok", Key: Key("monitor-test-ok"), Run: func(ctx context.Context) (int, error) { return 1, nil }},
+		{Label: "bad", Run: func(ctx context.Context) (int, error) { return 0, fmt.Errorf("boom") }},
+	}
+	_, _, err = Run(context.Background(), Config{Jobs: 1, Cache: cache, Monitor: mon}, units)
+	if err == nil {
+		t.Fatal("expected unit error")
+	}
+	p := mon.Snapshot()
+	if p.Failed != 1 {
+		t.Errorf("failed = %d, want 1", p.Failed)
+	}
+
+	// Re-running the cacheable unit alone is a pure cache hit.
+	_, _, err = Run(context.Background(), Config{Jobs: 1, Cache: cache, Monitor: mon}, units[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = mon.Snapshot()
+	if p.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", p.CacheHits)
+	}
+	if p.Total != 3 || p.Done != 3 {
+		t.Errorf("totals across runs = %d/%d, want 3/3", p.Done, p.Total)
+	}
+}
+
+func TestMonitorStatusLineAndETA(t *testing.T) {
+	mon := NewMonitor()
+	mon.addRun(10, 2)
+	slot := mon.beginUnit("a")
+	mon.endUnit(slot, 100*time.Millisecond, false, false)
+	p := mon.Snapshot()
+	if p.EWMAUnitMS != 100 {
+		t.Errorf("first sample must set the EWMA directly: %v", p.EWMAUnitMS)
+	}
+	// 9 remaining × 100ms ÷ 2 configured workers (none active).
+	if p.ETAMS != 450 {
+		t.Errorf("ETA = %v ms, want 450", p.ETAMS)
+	}
+	slot = mon.beginUnit("b")
+	mon.endUnit(slot, 200*time.Millisecond, false, false)
+	if got := mon.Snapshot().EWMAUnitMS; got != 120 {
+		t.Errorf("EWMA after 100,200 = %v, want 0.8*100+0.2*200 = 120", got)
+	}
+
+	line := mon.StatusLine()
+	for _, want := range []string{"2/10 units", "0 cache hits", "0 active", "120 ms/unit", "ETA"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("status line missing %q: %q", want, line)
+		}
+	}
+
+	var buf syncBuffer
+	stop := mon.StartStatus(&buf, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "2/10 units") {
+		t.Errorf("status renderer never drew: %q", out)
+	}
+	if !strings.HasSuffix(out, "\r") {
+		t.Errorf("stop must erase the line: %q", out)
+	}
+}
+
+// syncBuffer is a strings.Builder safe for the status goroutine + test.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}

@@ -119,17 +119,18 @@ func (j *benchJob) simKey(in workload.Input, width int, binary string) string {
 		pred = "default"
 	}
 	return engine.Key(harnessVersion, struct {
-		Config      workload.Config
-		Train       workload.Input
-		Input       workload.Input
-		Width       int
-		Binary      string
-		Predictor   string
-		Core        core.Options
-		Spec        core.SpeculateOptions
-		DBBEntries  int
-		ICacheBytes int
-	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes})
+		Config       workload.Config
+		Train        workload.Input
+		Input        workload.Input
+		Width        int
+		Binary       string
+		Predictor    string
+		Core         core.Options
+		Spec         core.SpeculateOptions
+		DBBEntries   int
+		ICacheBytes  int
+		SampleWindow int64
+	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow})
 }
 
 // simulate executes one (input, width, binary) timing run against the
@@ -201,7 +202,8 @@ func runBenchJobs(jobs []*benchJob, o Options) ([]*BenchResult, error) {
 		first[ji] = len(units) + 1 // skip the build unit
 		units = append(units, us...)
 	}
-	results, est, err := engine.Run(context.Background(), engine.Config{Jobs: o.Jobs, Cache: o.Cache}, units)
+	results, est, err := engine.Run(context.Background(),
+		engine.Config{Jobs: o.Jobs, Cache: o.Cache, Monitor: o.Monitor}, units)
 	if o.EngineStats != nil {
 		o.EngineStats.add(est)
 	}

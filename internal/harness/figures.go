@@ -61,7 +61,8 @@ func BiasPredictabilityCurveOpts(suite string, in workload.Input, o Options) (*C
 			},
 		})
 	}
-	curves, est, err := engine.Run(context.Background(), engine.Config{Jobs: o.Jobs, Cache: o.Cache}, units)
+	curves, est, err := engine.Run(context.Background(),
+		engine.Config{Jobs: o.Jobs, Cache: o.Cache, Monitor: o.Monitor}, units)
 	if o.EngineStats != nil {
 		o.EngineStats.add(est)
 	}

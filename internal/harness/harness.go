@@ -57,6 +57,16 @@ type Options struct {
 	Jobs        int
 	Cache       *engine.Cache
 	EngineStats *EngineStats
+	// Monitor, when non-nil, receives live per-unit progress from every
+	// engine run this options value drives (the -progress / -listen
+	// observability surface).
+	Monitor *engine.Monitor
+
+	// SampleWindow enables the pipeline's cycle-window time-series
+	// sampler on every simulation (pipeline.Config.SampleWindow). It is
+	// part of the run-cache key: sampled and unsampled results never
+	// alias.
+	SampleWindow int64
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -197,6 +207,7 @@ func (o *Options) predictor() bpred.DirPredictor {
 func (o *Options) machineConfig(width int) pipeline.Config {
 	cfg := pipeline.DefaultConfig(width)
 	cfg.NewPredictor = o.predictor
+	cfg.SampleWindow = o.SampleWindow
 	if o.DBBEntries > 0 {
 		cfg.DBBEntries = o.DBBEntries
 	}

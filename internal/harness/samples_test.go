@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"vanguard/internal/sample"
+	"vanguard/internal/trace"
+)
+
+func TestWriteSamplesCSV(t *testing.T) {
+	rep := &trace.Report{
+		Schema: trace.Schema,
+		Benchmarks: []*trace.BenchReport{
+			{
+				Name: "dot",
+				Runs: []*trace.RunReport{
+					{Label: "base", Input: "seed=1,iters=10", Width: 4,
+						Samples: &sample.Series{
+							WindowCycles: 100,
+							Windows: []sample.Window{
+								{Start: 0, End: 100, Committed: 250, Issued: 260, L1DMisses: 3, DBBHighWater: 5},
+								{Start: 100, End: 180, Committed: 80, Issued: 84},
+							},
+						}},
+					{Label: "exp", Input: "seed=1,iters=10", Width: 4}, // no samples: skipped
+				},
+			},
+		},
+	}
+	var sb strings.Builder
+	rows, err := WriteSamplesCSV(&sb, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 {
+		t.Fatalf("rows = %d, want 2", rows)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != 3 { // header + 2 windows
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if len(rec) != len(sampleCSVHeader) {
+			t.Errorf("record %d has %d fields, want %d", i, len(rec), len(sampleCSVHeader))
+		}
+	}
+	// The comma inside the input label must survive quoting.
+	if got := recs[1][2]; got != "seed=1,iters=10" {
+		t.Errorf("input column = %q, want the comma-bearing label intact", got)
+	}
+	if got := recs[1][len(recs[1])-1]; got != "2.500000" {
+		t.Errorf("ipc column = %q, want 2.500000", got)
+	}
+
+	// A report with no sampled runs writes only the header.
+	sb.Reset()
+	rows, err = WriteSamplesCSV(&sb, &trace.Report{Schema: trace.Schema})
+	if err != nil || rows != 0 {
+		t.Fatalf("empty report: rows=%d err=%v, want 0 rows", rows, err)
+	}
+}

@@ -16,6 +16,7 @@ package pipeline
 import (
 	"vanguard/internal/bpred"
 	"vanguard/internal/cache"
+	"vanguard/internal/sample"
 	"vanguard/internal/trace"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	// instructions (0 = unlimited); MaxCycles likewise.
 	MaxInstrs int64
 	MaxCycles int64
+
+	// SampleWindow enables the cycle-window time-series sampler: every
+	// SampleWindow cycles the machine records counter deltas into a
+	// preallocated ring and exports them as Stats.Samples. 0 (the
+	// default) disables sampling entirely — no sampler is constructed
+	// and the per-cycle cost is a single nil check.
+	SampleWindow int64
 
 	// debugCheckpoints additionally takes a full register-file snapshot at
 	// every speculation point and cross-checks the undo-journal rewind
@@ -150,6 +158,10 @@ type Stats struct {
 
 	// Per static branch (by BranchID): execution/misprediction/stall.
 	PerBranch map[int]*BranchStats
+
+	// Samples is the cycle-window time series, nil unless
+	// Config.SampleWindow was set.
+	Samples *sample.Series
 }
 
 // BranchStats tracks one static (decomposed or plain) branch.

@@ -11,6 +11,7 @@ import (
 	"vanguard/internal/ir"
 	"vanguard/internal/isa"
 	"vanguard/internal/mem"
+	"vanguard/internal/sample"
 	"vanguard/internal/trace"
 )
 
@@ -264,6 +265,13 @@ type Machine struct {
 
 	dbbOcc int // currently outstanding decomposed branches
 
+	// Cycle-window sampler (nil unless Config.SampleWindow > 0). The
+	// per-cycle cost of a nil sampler is one nil check in stepCycle;
+	// winDBBHigh tracks the occupancy high-water inside the open window
+	// with one compare at each DBB push.
+	sampler    *sample.Sampler
+	winDBBHigh int
+
 	// Issue-head stall run tracking (feeds the StallRun* histograms).
 	stallCause uint8
 	stallRun   int64
@@ -307,6 +315,9 @@ func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
 	}
 	mach.st = exec.NewState(sbView{mach}, im.Entry)
 	mach.nextException = cfg.ExceptionEveryN
+	if cfg.SampleWindow > 0 {
+		mach.sampler = sample.New(cfg.SampleWindow, 0)
+	}
 	return mach
 }
 
@@ -382,7 +393,45 @@ func (m *Machine) stepCycle() (done bool, err error) {
 	m.issue()
 	m.fetch()
 	m.now++
+	if m.sampler != nil && m.now >= m.sampler.NextAt() {
+		m.closeSampleWindow()
+	}
 	return false, nil
+}
+
+// closeSampleWindow records the just-finished cycle window and re-arms
+// the in-window DBB high-water tracker. Allocation-free (the sampler's
+// ring is preallocated).
+func (m *Machine) closeSampleWindow() {
+	m.sampler.Record(m.now, m.sampleCounters(), m.winDBBHigh)
+	m.winDBBHigh = m.dbbOcc
+}
+
+// sampleCounters snapshots the cumulative counters the sampler
+// differences. Committed is derived as Issued-WrongPathIssued because
+// Stats.Committed is only materialized in finishStats; the difference
+// telescopes identically.
+func (m *Machine) sampleCounters() sample.Counters {
+	return sample.Counters{
+		Committed:      m.stats.Issued - m.stats.WrongPathIssued,
+		Issued:         m.stats.Issued,
+		BrMispredicts:  m.stats.BrMispredicts,
+		ResMispredicts: m.stats.ResMispredicts,
+		RetMispredicts: m.stats.RetMispredicts,
+		Resolves:       m.stats.Resolves,
+		Predicts:       m.stats.Predicts,
+		Flushes:        m.stats.Flushes,
+
+		StallEmpty:   m.stats.EmptyFetchCycles,
+		StallOperand: m.stats.OperandStallCycles,
+		StallBranch:  m.stats.BranchStallCycles,
+		StallResolve: m.stats.ResolveStallCycles,
+		StallFU:      m.stats.FUStallCycles,
+
+		L1IMisses: int64(m.Hier.L1I.Misses),
+		L1DMisses: int64(m.Hier.L1D.Misses),
+		L2Misses:  int64(m.Hier.L2.Misses),
+	}
 }
 
 // Run simulates to HALT (or an instruction/cycle cap) and returns stats.
@@ -430,6 +479,10 @@ func (m *Machine) finishStats() {
 	hits, misses := m.btb.Lookups()
 	m.stats.BTBHits, m.stats.BTBMisses = int64(hits), int64(misses)
 	m.stats.RASUnderflows = int64(m.ras.Underflows())
+	if m.sampler != nil {
+		m.sampler.Flush(m.now, m.sampleCounters(), m.winDBBHigh)
+		m.stats.Samples = m.sampler.Series()
+	}
 }
 
 // done reports whether the committed HALT has drained the machine, or the
@@ -1072,6 +1125,9 @@ func (m *Machine) fetch() {
 			m.dbbOcc++
 			if m.dbbOcc > m.stats.MaxDBBOccupancy {
 				m.stats.MaxDBBOccupancy = m.dbbOcc
+			}
+			if m.dbbOcc > m.winDBBHigh {
+				m.winDBBHigh = m.dbbOcc
 			}
 			m.stats.DBBOccupancy.Observe(int64(m.dbbOcc))
 			if m.Sink != nil {

@@ -61,5 +61,6 @@ func (s *Stats) RunReport(label string, width int) *trace.RunReport {
 		Counters: counters,
 		Rates:    rates,
 		Hists:    hists,
+		Samples:  s.Samples,
 	}
 }

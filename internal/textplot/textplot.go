@@ -92,6 +92,62 @@ func Hist(w io.Writer, title string, h *trace.Hist, width int) {
 	}
 }
 
+// sparkRunes are the eight block-element levels of a sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders xs as a one-line unicode sparkline at most width cells
+// wide, preceded by the title and followed by a min/max/last summary —
+// the shape cycle-window time series (IPC per window, mispredicts per
+// window) take in terminal output. Longer series are downsampled by
+// averaging equal spans of consecutive points into each cell.
+func Spark(w io.Writer, title string, xs []float64, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	if len(xs) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	cells := xs
+	if len(xs) > width {
+		cells = make([]float64, width)
+		for i := range cells {
+			// Average the half-open span [a, b) of source points; spans
+			// tile the input exactly, so every point lands in one cell.
+			a := i * len(xs) / width
+			b := (i + 1) * len(xs) / width
+			sum := 0.0
+			for _, v := range xs[a:b] {
+				sum += v
+			}
+			cells[i] = sum / float64(b-a)
+		}
+	}
+	// Glyph levels scale to the rendered cells (post-averaging), so the
+	// line always spans the full rune range; the summary reports the raw
+	// extremes.
+	clo, chi := cells[0], cells[0]
+	for _, v := range cells {
+		clo = math.Min(clo, v)
+		chi = math.Max(chi, v)
+	}
+	var sb strings.Builder
+	for _, v := range cells {
+		level := 0
+		if chi > clo {
+			level = int((v - clo) / (chi - clo) * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[level])
+	}
+	fmt.Fprintf(w, "%s: %s  min=%.3g max=%.3g last=%.3g n=%d\n",
+		title, sb.String(), lo, hi, xs[len(xs)-1], len(xs))
+}
+
 // Series renders one or two y-series over a shared x axis as a height×width
 // character grid — enough to see the Figure 2/3 shape (predictability
 // staying high while bias falls). The first series plots as '*', the

@@ -117,3 +117,116 @@ func TestHistEmpty(t *testing.T) {
 		t.Errorf("empty histogram must render a placeholder: %q", sb.String())
 	}
 }
+
+func TestHistSingleBucket(t *testing.T) {
+	var h trace.Hist
+	h.Observe(6) // the only occupied bucket, [4,8)
+	var sb strings.Builder
+	Hist(&sb, "one", &h, 20)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want summary + 1 bucket row, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "count=1") || !strings.Contains(lines[0], "max=6") {
+		t.Errorf("summary wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "[4,8)") {
+		t.Errorf("bucket label wrong: %q", lines[1])
+	}
+	if c := strings.Count(lines[1], "#"); c != 20 {
+		t.Errorf("sole bucket must fill the width, got %d hashes: %q", c, lines[1])
+	}
+}
+
+func TestHistAllEqualValues(t *testing.T) {
+	var h trace.Hist
+	for i := 0; i < 1000; i++ {
+		h.Observe(17) // all in [16,32)
+	}
+	var sb strings.Builder
+	Hist(&sb, "const", &h, 20)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("all-equal values must occupy exactly one bucket row, got %d:\n%s",
+			len(lines), out)
+	}
+	if !strings.Contains(lines[0], "count=1000") || !strings.Contains(lines[0], "mean=17.0") {
+		t.Errorf("summary wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "[16,32)") {
+		t.Errorf("bucket label wrong: %q", lines[1])
+	}
+}
+
+func TestSparkRendersLevels(t *testing.T) {
+	var sb strings.Builder
+	Spark(&sb, "ipc", []float64{0, 1, 2, 3}, 10)
+	out := sb.String()
+	if !strings.HasPrefix(out, "ipc: ") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "▁") || !strings.Contains(out, "█") {
+		t.Errorf("min/max runes missing: %q", out)
+	}
+	if !strings.Contains(out, "min=0") || !strings.Contains(out, "max=3") ||
+		!strings.Contains(out, "last=3") || !strings.Contains(out, "n=4") {
+		t.Errorf("summary wrong: %q", out)
+	}
+	// Short series are not padded: 4 points -> 4 cells.
+	cells := strings.SplitN(out, ": ", 2)[1]
+	cells = strings.SplitN(cells, "  ", 2)[0]
+	if n := len([]rune(cells)); n != 4 {
+		t.Errorf("want 4 cells, got %d: %q", n, out)
+	}
+}
+
+func TestSparkDownsamples(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	var sb strings.Builder
+	Spark(&sb, "long", xs, 20)
+	out := sb.String()
+	cells := strings.SplitN(out, ": ", 2)[1]
+	cells = strings.SplitN(cells, "  ", 2)[0]
+	if n := len([]rune(cells)); n != 20 {
+		t.Errorf("want exactly 20 cells, got %d: %q", n, out)
+	}
+	runes := []rune(cells)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Errorf("monotone ramp must start low and end high: %q", cells)
+	}
+	for i := 1; i < len(runes); i++ {
+		prev := strings.IndexRune(string(sparkRunes), runes[i-1])
+		cur := strings.IndexRune(string(sparkRunes), runes[i])
+		if cur < prev {
+			t.Errorf("monotone input rendered non-monotone at cell %d: %q", i, cells)
+		}
+	}
+}
+
+func TestSparkDegenerate(t *testing.T) {
+	var sb strings.Builder
+	Spark(&sb, "empty", nil, 10)
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Errorf("empty sparkline must say so: %q", sb.String())
+	}
+	sb.Reset()
+	// All-equal values must not divide by zero and render the low rune.
+	Spark(&sb, "flat", []float64{2, 2, 2}, 10)
+	out := sb.String()
+	if !strings.Contains(out, "▁▁▁") {
+		t.Errorf("flat series must render uniform low cells: %q", out)
+	}
+	if !strings.Contains(out, "min=2 max=2 last=2 n=3") {
+		t.Errorf("flat summary wrong: %q", out)
+	}
+	sb.Reset()
+	Spark(&sb, "one", []float64{5}, 10)
+	if !strings.Contains(sb.String(), "n=1") {
+		t.Errorf("single point must render: %q", sb.String())
+	}
+}

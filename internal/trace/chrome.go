@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -96,14 +97,20 @@ func chromeLane(k Kind) int {
 	}
 }
 
-// jsonEscape covers the instruction disassembly strings we embed (they
-// contain no control characters, but quote defensively anyway).
+// jsonEscape covers the instruction disassembly and event-name strings
+// we embed. Today's disassembly emits neither quotes nor control
+// characters, so the common path is a scan and no copy; anything that
+// does need escaping goes through the real JSON encoder so the output
+// stays valid JSON no matter what a future Instr.String produces.
 func jsonEscape(s string) string {
-	if !strings.ContainsAny(s, `"\`) {
+	if strings.IndexFunc(s, func(r rune) bool { return r < 0x20 || r == '"' || r == '\\' }) < 0 {
 		return s
 	}
-	s = strings.ReplaceAll(s, `\`, `\\`)
-	return strings.ReplaceAll(s, `"`, `\"`)
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "" // cannot happen for a string
+	}
+	return string(b[1 : len(b)-1])
 }
 
 // Emit implements Sink.

@@ -4,12 +4,22 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+
+	"vanguard/internal/sample"
 )
 
 // Schema identifies the run-report wire format. Bump the suffix on any
 // incompatible change; additive changes (new counters, new hists) keep
 // the version.
-const Schema = "vanguard-telemetry/v1"
+//
+// SchemaV2 adds the optional per-run `samples` section (cycle-window
+// time series). A report is stamped v2 only when at least one run
+// carries samples, so sampling-off output is bit-identical to v1 and v1
+// consumers are unaffected unless they opt into sampling.
+const (
+	Schema   = "vanguard-telemetry/v1"
+	SchemaV2 = "vanguard-telemetry/v2"
+)
 
 // Report is the single machine-readable schema shared by every CLI's
 // -json flag: vgrun emits one benchmark with one timing run, spec emits
@@ -93,6 +103,9 @@ type RunReport struct {
 	Counters map[string]int64   `json:"counters"`
 	Rates    map[string]float64 `json:"rates,omitempty"`
 	Hists    map[string]*Hist   `json:"hists,omitempty"`
+	// Samples is the cycle-window time series, present only when the run
+	// was sampled (-sample-window); its presence bumps the report to v2.
+	Samples *sample.Series `json:"samples,omitempty"`
 }
 
 // AblationReport is one sweep of a design parameter.
@@ -107,8 +120,24 @@ type AblationPoint struct {
 	SpeedupPct float64 `json:"speedup_pct"`
 }
 
-// Write renders the report as indented JSON.
+// sampled reports whether any run carries a samples section.
+func (r *Report) sampled() bool {
+	for _, b := range r.Benchmarks {
+		for _, run := range b.Runs {
+			if run.Samples != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Write renders the report as indented JSON, stamping the v2 schema tag
+// iff a samples section is present (see SchemaV2).
 func (r *Report) Write(w io.Writer) error {
+	if r.Schema == Schema && r.sampled() {
+		r.Schema = SchemaV2
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
@@ -133,7 +162,7 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, err
 	}
-	if r.Schema != Schema {
+	if r.Schema != Schema && r.Schema != SchemaV2 {
 		return nil, &SchemaError{Got: r.Schema}
 	}
 	return &r, nil
@@ -143,5 +172,5 @@ func ReadReport(rd io.Reader) (*Report, error) {
 type SchemaError struct{ Got string }
 
 func (e *SchemaError) Error() string {
-	return "trace: report schema " + e.Got + " (want " + Schema + ")"
+	return "trace: report schema " + e.Got + " (want " + Schema + " or " + SchemaV2 + ")"
 }
