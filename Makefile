@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-all bench-diff results
+.PHONY: all build test check fmt vet race bench bench-all bench-diff results attr-gate
 
 all: build
 
@@ -28,6 +28,14 @@ race:
 
 # Pre-PR gate: run this before every commit.
 check: fmt vet build race
+
+# Attribution-conservation gate: every attributed fast-suite simulation
+# must charge exactly cycles x width issue slots (pipeline invariant
+# sweeps), match the aggregate counters per static branch, and leave
+# attribution-off runs byte-identical; the differential path must hold
+# the same books on both binaries of a real benchmark.
+attr-gate:
+	$(GO) test -run 'TestAttr|TestRunAttrDiff' -count 1 ./internal/pipeline/ ./internal/harness/
 
 # Simulator-throughput benchmarks (simulated MIPS + allocation counts),
 # benchstat-friendly: five samples per benchmark, compare against the

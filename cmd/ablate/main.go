@@ -21,6 +21,7 @@ func main() {
 	var (
 		sweep    = flag.String("sweep", "all", "gap | hoist | dbb | slice | all")
 		fast     = flag.Bool("fast", false, "reduced inputs")
+		attrF    = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation (feeds the monitor's /metrics per-cause counters)")
 		jsonF    = flag.String("json", "", "also write the sweeps as a structured telemetry report to this file")
 		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
@@ -38,6 +39,7 @@ func main() {
 	es := &harness.EngineStats{}
 	o.Jobs = *jobs
 	o.EngineStats = es
+	o.Attr = *attrF
 	if !*noCache && *cacheDir != "" {
 		c, err := engine.Open(*cacheDir)
 		if err != nil {

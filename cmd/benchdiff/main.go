@@ -8,15 +8,17 @@
 //	go test -bench Sim -count 5 -run '^$' . | tee new.txt
 //	benchdiff results/bench_baseline.txt new.txt
 //
-// Benchmarks present in only one file are reported but do not fail the
-// gate: the baseline predates newly added benchmarks, and a renamed
-// benchmark should update the baseline, not silently pass.
+// Benchmarks present in only one file are reported as `new` or `removed`
+// but never fail the gate: the baseline predates newly added benchmarks,
+// and a renamed benchmark should update the baseline, not silently pass —
+// only a benchmark measured on both sides can regress.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -70,6 +72,51 @@ func mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// compare renders the per-benchmark table over the union of both runs'
+// names and reports whether any two-sided benchmark dropped more than
+// maxRegress percent. One-sided benchmarks print as `new` or `removed`
+// and never count as regressions, and a zero baseline mean (a degenerate
+// measurement, not a slowdown) is skipped rather than divided by.
+func compare(w io.Writer, base, cur map[string][]float64, maxRegress float64) bool {
+	names := make([]string, 0, len(base)+len(cur))
+	for n := range base {
+		names = append(names, n)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-28s %12s %12s %9s\n", "benchmark", "old sim-MIPS", "new sim-MIPS", "delta")
+	failed := false
+	for _, n := range names {
+		ov, inBase := base[n]
+		nv, inCur := cur[n]
+		switch {
+		case !inCur:
+			fmt.Fprintf(w, "%-28s %12.2f %12s %9s\n", n, mean(ov), "-", "removed")
+		case !inBase:
+			fmt.Fprintf(w, "%-28s %12s %12.2f %9s\n", n, "-", mean(nv), "new")
+		default:
+			ob, nb := mean(ov), mean(nv)
+			if ob == 0 {
+				fmt.Fprintf(w, "%-28s %12.2f %12.2f %9s\n", n, ob, nb, "no-base")
+				continue
+			}
+			pct := (nb - ob) / ob * 100
+			mark := ""
+			if -pct > maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(w, "%-28s %12.2f %12.2f %+8.1f%%%s\n", n, ob, nb, pct, mark)
+		}
+	}
+	return failed
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
@@ -94,35 +141,7 @@ func main() {
 		log.Fatalf("%s: no sim-MIPS benchmark lines found", flag.Arg(1))
 	}
 
-	names := make([]string, 0, len(base))
-	for n := range base {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-
-	fmt.Printf("%-28s %12s %12s %9s\n", "benchmark", "old sim-MIPS", "new sim-MIPS", "delta")
-	failed := false
-	for _, n := range names {
-		nu, ok := cur[n]
-		if !ok {
-			fmt.Printf("%-28s %12.2f %12s %9s\n", n, mean(base[n]), "-", "missing")
-			continue
-		}
-		ob, nb := mean(base[n]), mean(nu)
-		pct := (nb - ob) / ob * 100
-		mark := ""
-		if -pct > *maxRegress {
-			mark = "  REGRESSION"
-			failed = true
-		}
-		fmt.Printf("%-28s %12.2f %12.2f %+8.1f%%%s\n", n, ob, nb, pct, mark)
-	}
-	for n := range cur {
-		if _, ok := base[n]; !ok {
-			fmt.Printf("%-28s %12s %12.2f %9s\n", n, "-", mean(cur[n]), "new")
-		}
-	}
-	if failed {
+	if compare(os.Stdout, base, cur, *maxRegress) {
 		log.Fatalf("sim-MIPS regression beyond %.0f%% tolerance", *maxRegress)
 	}
 	fmt.Printf("ok: no benchmark regressed more than %.0f%%\n", *maxRegress)

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareTwoSided(t *testing.T) {
+	base := map[string][]float64{"BenchmarkSimW4": {100, 110}, "BenchmarkSimW8": {200}}
+	cur := map[string][]float64{"BenchmarkSimW4": {104}, "BenchmarkSimW8": {150}}
+	var sb strings.Builder
+	if failed := compare(&sb, base, cur, 10); !failed {
+		t.Fatalf("25%% drop on SimW8 must fail the 10%% gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("regressed row must be marked:\n%s", out)
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Fatalf("only SimW8 regressed:\n%s", out)
+	}
+}
+
+func TestCompareOneSidedNeverRegresses(t *testing.T) {
+	// A benchmark missing from either side must print as new/removed and
+	// must not trip the gate — this was the false-regression bug.
+	base := map[string][]float64{"BenchmarkSimOld": {100}, "BenchmarkSimBoth": {50}}
+	cur := map[string][]float64{"BenchmarkSimNew": {1}, "BenchmarkSimBoth": {50}}
+	var sb strings.Builder
+	if failed := compare(&sb, base, cur, 10); failed {
+		t.Fatalf("one-sided benchmarks must not fail the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "removed") {
+		t.Fatalf("baseline-only benchmark must print as removed:\n%s", out)
+	}
+	if !strings.Contains(out, "new") {
+		t.Fatalf("current-only benchmark must print as new:\n%s", out)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := map[string][]float64{"BenchmarkSimZ": {0}}
+	cur := map[string][]float64{"BenchmarkSimZ": {10}}
+	var sb strings.Builder
+	if failed := compare(&sb, base, cur, 10); failed {
+		t.Fatalf("zero baseline mean must be skipped, not divided:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "no-base") {
+		t.Fatalf("zero baseline must print as no-base:\n%s", sb.String())
+	}
+}
+
+func TestCompareDeterministicOrder(t *testing.T) {
+	base := map[string][]float64{"BenchmarkB": {1}, "BenchmarkD": {1}}
+	cur := map[string][]float64{"BenchmarkA": {1}, "BenchmarkC": {1}, "BenchmarkB": {1}}
+	var sb strings.Builder
+	compare(&sb, base, cur, 10)
+	out := sb.String()
+	order := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkD"}
+	last := -1
+	for _, n := range order {
+		i := strings.Index(out, n)
+		if i < 0 {
+			t.Fatalf("%s missing from table:\n%s", n, out)
+		}
+		if i < last {
+			t.Fatalf("rows must sort over the union of names:\n%s", out)
+		}
+		last = i
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	text := `goos: linux
+BenchmarkSimW4-8   	      10	 104042625 ns/op	        12.50 sim-MIPS	       0 B/op
+BenchmarkSimW4-8   	      10	 100042625 ns/op	        13.50 sim-MIPS	       0 B/op
+BenchmarkSimW8-8   	       5	 204042625 ns/op	         7.25 sim-MIPS
+BenchmarkNoMetric-8	      10	 104042625 ns/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 benchmarks with sim-MIPS, got %v", got)
+	}
+	if xs := got["BenchmarkSimW4"]; len(xs) != 2 || xs[0] != 12.5 || xs[1] != 13.5 {
+		t.Fatalf("BenchmarkSimW4 samples = %v", xs)
+	}
+	if xs := got["BenchmarkSimW8"]; len(xs) != 1 || xs[0] != 7.25 {
+		t.Fatalf("BenchmarkSimW8 samples = %v", xs)
+	}
+}

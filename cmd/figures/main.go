@@ -5,6 +5,8 @@
 //	figures -fig 3            predictability vs bias, SPEC 2006 FP
 //	figures -sensitivity      Section 5.3 predictor ladder on the four
 //	                          hard-to-predict integer benchmarks
+//	figures -cpistack mcf     baseline-vs-vanguard CPI stack with per-branch
+//	                          delta attribution for one benchmark
 //
 // Profiling and simulation run on the experiment engine (-jobs bounds the
 // worker pool; -cache-dir/-no-cache control the on-disk run cache).
@@ -74,6 +76,27 @@ func dumpSamples(path string, plot bool) {
 	}
 }
 
+// writeAttrCSV exports a differential attribution's stacked-CPI and
+// per-branch delta tables as PREFIX.cpistack.csv and PREFIX.branches.csv.
+func writeAttrCSV(prefix string, d *harness.AttrDiff) {
+	write := func(path string, fn func(*os.File) (int, error)) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := fn(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d rows)", path, rows)
+	}
+	write(prefix+".cpistack.csv", func(f *os.File) (int, error) { return harness.WriteCPIStackCSV(f, d) })
+	write(prefix+".branches.csv", func(f *os.File) (int, error) { return harness.WriteBranchDeltaCSV(f, d) })
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
@@ -81,6 +104,9 @@ func main() {
 		fig         = flag.Int("fig", 0, "figure to regenerate (2 or 3)")
 		sensitivity = flag.Bool("sensitivity", false, "run the Section 5.3 predictor ladder")
 		samples     = flag.String("samples", "", "dump the samples sections of a telemetry report (vgrun/spec -json -sample-window output) as CSV on stdout; with -plot, render sparklines instead")
+		cpistack    = flag.String("cpistack", "", "render the baseline-vs-vanguard CPI stack and per-branch delta attribution for this benchmark")
+		width       = flag.Int("width", 4, "issue width for -cpistack")
+		attrCSV     = flag.String("attr-csv", "", "with -cpistack, also write PREFIX.cpistack.csv and PREFIX.branches.csv using this path prefix")
 		fast        = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
 		plot        = flag.Bool("plot", false, "render ASCII charts instead of tables")
 		jobs        = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
@@ -146,6 +172,19 @@ func main() {
 		} else {
 			cur.Write(os.Stdout, title)
 		}
+	case *cpistack != "":
+		c, ok := workload.ByName(*cpistack)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *cpistack)
+		}
+		d, err := harness.RunAttrDiff(c, o, *width)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.WriteAttrDiff(os.Stdout, d, 10)
+		if *attrCSV != "" {
+			writeAttrCSV(*attrCSV, d)
+		}
 	case *sensitivity:
 		rows, err := harness.Sensitivity(harness.SensitivityBenchmarks(), o)
 		if err != nil {
@@ -154,7 +193,7 @@ func main() {
 		harness.WriteSensitivity(os.Stdout, rows)
 	default:
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "need -fig 2, -fig 3, or -sensitivity")
+		fmt.Fprintln(os.Stderr, "need -fig 2, -fig 3, -cpistack BENCH, or -sensitivity")
 		os.Exit(2)
 	}
 	log.Printf("engine: %s", es.Summary())

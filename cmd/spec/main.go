@@ -77,6 +77,7 @@ func main() {
 		plot      = flag.Bool("plot", false, "also render speedup figures as ASCII bar charts")
 		schemaF   = flag.Bool("schema", false, "print the telemetry schema version -json would emit, then exit")
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a per-run counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
+		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation; -json reports gain per-run attribution sections (schema "+trace.SchemaV3+")")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
@@ -87,10 +88,14 @@ func main() {
 	)
 	flag.Parse()
 	if *schemaF {
-		// Reports carry samples (and the v2 tag) only when sampling is on.
-		if *sampleWin > 0 {
+		// Reports carry the optional sections (and their tags) only when the
+		// producing flag is on; attribution (v3) outranks sampling (v2).
+		switch {
+		case *attrF:
+			fmt.Println(trace.SchemaV3)
+		case *sampleWin > 0:
 			fmt.Println(trace.SchemaV2)
-		} else {
+		default:
 			fmt.Println(trace.Schema)
 		}
 		return
@@ -105,6 +110,7 @@ func main() {
 	o.Jobs = *jobs
 	o.EngineStats = es
 	o.SampleWindow = *sampleWin
+	o.Attr = *attrF
 	if !*noCache && *cacheDir != "" {
 		c, err := engine.Open(*cacheDir)
 		if err != nil {

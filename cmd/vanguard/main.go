@@ -31,6 +31,7 @@ func main() {
 		predictor = flag.String("predictor", "default", "direction predictor: static|bimodal|gshare|default|tage|isl-tage")
 		iters     = flag.Int64("iters", 0, "override REF iteration count")
 		dump      = flag.Bool("dump", false, "disassemble the baseline and experimental binaries")
+		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause and print the baseline-vs-vanguard cycle stack, per-branch deltas, and offender tables")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
 		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
@@ -54,6 +55,7 @@ func main() {
 	}
 	o := harness.DefaultOptions()
 	o.Widths = []int{*width}
+	o.Attr = *attrF
 	if *progress || *listen != "" {
 		o.Monitor = engine.NewMonitor()
 		if *listen != "" {
@@ -109,6 +111,22 @@ func main() {
 			fmt.Printf("input seed %d: base %d cycles (IPC %.3f) -> exp %d cycles (IPC %.3f), %+.2f%%\n",
 				in.Input.Seed, wr.Base.Cycles, wr.Base.IPC(), wr.Exp.Cycles, wr.Exp.IPC(),
 				metrics.SpeedupPct(wr.Base.Cycles, wr.Exp.Cycles))
+		}
+	}
+	if *attrF && len(r.Inputs) > 0 {
+		wr := r.Inputs[0].Runs[0]
+		if wr.Base.Attr != nil && wr.Exp.Attr != nil {
+			d := &harness.AttrDiff{
+				Benchmark: c.Name,
+				Width:     *width,
+				Input:     r.Inputs[0].Input,
+				Base:      wr.Base.Attr,
+				Exp:       wr.Exp.Attr,
+				Profile:   r.Profile,
+				Transform: r.Report,
+			}
+			fmt.Println()
+			harness.WriteAttrDiff(os.Stdout, d, 10)
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -29,6 +30,7 @@ import (
 	"vanguard/internal/asm"
 	"vanguard/internal/core"
 	"vanguard/internal/engine"
+	"vanguard/internal/harness"
 	"vanguard/internal/interp"
 	"vanguard/internal/ir"
 	"vanguard/internal/mem"
@@ -50,10 +52,13 @@ func main() {
 		maxInstrs = flag.Int64("max-instrs", 50_000_000, "functional instruction cap")
 		doTrace   = flag.Bool("trace", false, "print issue/mispredict events from the timing run (historical line format)")
 		traceAll  = flag.Bool("trace-all", false, "like -trace, but print every lifecycle event (fetch, commit, squash, DBB push/pop, cache misses, faults)")
-		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+", or "+trace.SchemaV2+" when sampling is on) to this file")
+		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+"; "+trace.SchemaV2+" when sampling is on, "+trace.SchemaV3+" with -attr) to this file")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace_event timeline (open in chrome://tracing or ui.perfetto.dev) to this file")
 		noHists   = flag.Bool("no-hists", false, "suppress the ASCII histograms in the text report")
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
+		attrOn    = flag.Bool("attr", false, "charge every issue slot to a cause: print the CPI stack and offender tables, add an attribution section to -json reports")
+		attrDiff  = flag.Bool("attr-diff", false, "profile, decompose, and simulate the baseline and vanguard binaries with attribution on; print the CPI-stack delta and per-branch recovery table, then exit")
+		attrCSV   = flag.String("attr-csv", "", "with -attr-diff: also write PREFIX.cpistack.csv and PREFIX.branches.csv")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
@@ -65,6 +70,9 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: vgrun [flags] prog.s")
+	}
+	if *attrDiff && *transform {
+		log.Fatal("-attr-diff builds both binaries itself; drop -transform")
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -134,6 +142,26 @@ func main() {
 			cache = c
 		}
 	}
+	var mon *engine.Monitor
+	if *progress || *listen != "" {
+		mon = engine.NewMonitor()
+		if *listen != "" {
+			addr, err := mon.Serve(*listen)
+			if err != nil {
+				log.Fatalf("listen: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "monitor listening on http://%s (/progress, /metrics, /debug/pprof)\n", addr)
+		}
+	}
+	var stopStatus func()
+	if *progress {
+		stopStatus = mon.StartStatus(os.Stderr, 0)
+	}
+
+	if *attrDiff {
+		runAttrDiff(p, im, gm, src, cache, mon, stopStatus, *width, *maxInstrs, *jobs, *attrCSV)
+		return
+	}
 	// Event tracing needs a live machine, so those runs bypass the cache
 	// (as do profiled runs — a cache hit would profile nothing); cache
 	// hits skip the memory cross-check (the run was verified when its
@@ -141,12 +169,13 @@ func main() {
 	tracing := *doTrace || *traceAll || *chromeOut != "" || *cpuProf != ""
 	key := ""
 	if !tracing {
-		key = engine.Key("vgrun/v1", string(src), *width, *transform, *maxInstrs, *sampleWin)
+		key = engine.Key("vgrun/v2", string(src), *width, *transform, *maxInstrs, *sampleWin, *attrOn)
 	}
 
 	runTiming := func(context.Context) (*pipeline.Stats, error) {
 		cfg := pipeline.DefaultConfig(*width)
 		cfg.SampleWindow = *sampleWin
+		cfg.Attr = *attrOn
 		mach := pipeline.New(im, mem.New(), cfg)
 
 		// An always-on bounded ring keeps the most recent lifecycle events
@@ -185,21 +214,6 @@ func main() {
 		return st, nil
 	}
 
-	var mon *engine.Monitor
-	if *progress || *listen != "" {
-		mon = engine.NewMonitor()
-		if *listen != "" {
-			addr, err := mon.Serve(*listen)
-			if err != nil {
-				log.Fatalf("listen: %v", err)
-			}
-			fmt.Fprintf(os.Stderr, "monitor listening on http://%s (/progress, /metrics, /debug/pprof)\n", addr)
-		}
-	}
-	var stopStatus func()
-	if *progress {
-		stopStatus = mon.StartStatus(os.Stderr, 0)
-	}
 	results, est, err := engine.Run(context.Background(),
 		engine.Config{Jobs: *jobs, Cache: cache, Monitor: mon},
 		[]engine.Unit[*pipeline.Stats]{{Label: "timing/" + flag.Arg(0), Key: key, Run: runTiming}})
@@ -212,6 +226,9 @@ func main() {
 	st := results[0]
 	if est.Units[0].CacheHit {
 		fmt.Fprintf(os.Stderr, "timing run served from the run cache (%s)\n", cache.Dir())
+	}
+	if mon != nil && st.Attr != nil {
+		mon.ObserveAttr(st.Attr.Slots)
 	}
 	fmt.Printf("timing:     %d cycles, IPC %.3f, %d issued (%d wrong-path), MPKI %.2f\n",
 		st.Cycles, st.IPC(), st.Issued, st.WrongPathIssued, st.MPKI())
@@ -248,6 +265,11 @@ func main() {
 		}), 60)
 	}
 
+	if st.Attr != nil {
+		fmt.Println()
+		harness.WriteAttrReport(os.Stdout, "cycle attribution (cycles by cause)", st.Attr, 10)
+	}
+
 	if *jsonOut != "" {
 		report := trace.NewReport("vgrun")
 		bench := &trace.BenchReport{Name: flag.Arg(0)}
@@ -267,5 +289,88 @@ func main() {
 			log.Fatalf("json report: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}
+
+// runAttrDiff is the -attr-diff path: build the vanguard binary from the
+// parsed (untransformed) program, simulate both binaries with cycle
+// attribution on as engine units (cached, monitored), and render the
+// differential — which causes shrank, and which branches paid off.
+func runAttrDiff(p *ir.Program, baseIm *ir.Image, gm *mem.Memory, src []byte,
+	cache *engine.Cache, mon *engine.Monitor, stopStatus func(),
+	width int, maxInstrs int64, jobs int, csvPrefix string) {
+	prof, err := profile.CollectDefault(baseIm, mem.New(), maxInstrs)
+	if err != nil {
+		log.Fatalf("profile: %v", err)
+	}
+	expProg := p.Clone()
+	rep, err := core.Transform(expProg, prof, core.DefaultOptions())
+	if err != nil {
+		log.Fatalf("transform: %v", err)
+	}
+	sched.Program(expProg, sched.DefaultModel(width))
+	expIm := ir.MustLinearize(expProg)
+
+	sim := func(im *ir.Image, binary string) engine.Unit[*pipeline.Stats] {
+		return engine.Unit[*pipeline.Stats]{
+			Label: binary + "/" + flag.Arg(0),
+			Key:   engine.Key("vgrun-attrdiff/v1", string(src), width, maxInstrs, binary),
+			Run: func(context.Context) (*pipeline.Stats, error) {
+				cfg := pipeline.DefaultConfig(width)
+				cfg.Attr = true
+				mach := pipeline.New(im, mem.New(), cfg)
+				st, err := mach.Run()
+				if err != nil {
+					return nil, err
+				}
+				if !mach.Memory().Equal(gm) {
+					return nil, fmt.Errorf("%s binary diverged from the golden model", binary)
+				}
+				return st, nil
+			},
+		}
+	}
+	results, _, err := engine.Run(context.Background(),
+		engine.Config{Jobs: jobs, Cache: cache, Monitor: mon},
+		[]engine.Unit[*pipeline.Stats]{sim(baseIm, "base"), sim(expIm, "exp")})
+	if stopStatus != nil {
+		stopStatus()
+	}
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	d := &harness.AttrDiff{
+		Benchmark: flag.Arg(0), Width: width,
+		Base: results[0].Attr, Exp: results[1].Attr,
+		Profile: prof, Transform: rep,
+	}
+	if mon != nil {
+		mon.ObserveAttr(d.Base.Slots)
+		mon.ObserveAttr(d.Exp.Slots)
+	}
+	fmt.Printf("converted %d branch(es), code size %+.1f%%\n\n", len(rep.Converted), rep.PISCS())
+	harness.WriteAttrDiff(os.Stdout, d, 10)
+	if csvPrefix != "" {
+		for _, out := range []struct {
+			suffix string
+			write  func(io.Writer, *harness.AttrDiff) (int, error)
+		}{
+			{".cpistack.csv", harness.WriteCPIStackCSV},
+			{".branches.csv", harness.WriteBranchDeltaCSV},
+		} {
+			path := csvPrefix + out.suffix
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := out.write(f, d); err != nil {
+				f.Close()
+				log.Fatalf("%s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 }

@@ -30,6 +30,11 @@ type Monitor struct {
 	ewma      time.Duration
 	active    map[int]activeUnit
 	nextSlot  int
+	// attrSlots accumulates per-cause issue-slot totals from attributed
+	// runs (harness calls ObserveAttr once per simulated result). Keys are
+	// the attr cause keys; the map is passed by value semantics only
+	// through Snapshot copies.
+	attrSlots map[string]int64
 }
 
 type activeUnit struct {
@@ -45,6 +50,46 @@ const ewmaAlpha = 0.2
 // and to Serve/StartStatus.
 func NewMonitor() *Monitor {
 	return &Monitor{started: time.Now(), active: make(map[int]activeUnit)}
+}
+
+// ObserveAttr folds one attributed run's per-cause issue-slot totals
+// (attr.Report.Slots; passed as a plain map so the engine stays
+// independent of the attr package) into the monitor's running counters,
+// exposed at /metrics as vanguard_attr_slots_total{cause="..."}.
+func (m *Monitor) ObserveAttr(slots map[string]int64) {
+	m.mu.Lock()
+	if m.attrSlots == nil {
+		m.attrSlots = make(map[string]int64, len(slots))
+	}
+	for cause, n := range slots {
+		m.attrSlots[cause] += n
+	}
+	m.mu.Unlock()
+}
+
+// attrSnapshot copies the per-cause counters in sorted key order.
+func (m *Monitor) attrSnapshot() ([]string, map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.attrSlots) == 0 {
+		return nil, nil
+	}
+	causes := make([]string, 0, len(m.attrSlots))
+	out := make(map[string]int64, len(m.attrSlots))
+	for cause, n := range m.attrSlots {
+		causes = append(causes, cause)
+		out[cause] = n
+	}
+	sort.Strings(causes)
+	return causes, out
+}
+
+// promLabelEscape escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline.
+func promLabelEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // addRun records a new engine.Run joining this monitor.
@@ -233,6 +278,13 @@ func (m *Monitor) Handler() http.Handler {
 		fmt.Fprintf(w, "# TYPE vanguard_unit_latency_ewma_seconds gauge\nvanguard_unit_latency_ewma_seconds %g\n", p.EWMAUnitMS/1000)
 		fmt.Fprintf(w, "# HELP vanguard_eta_seconds Estimated time to drain the remaining units.\n")
 		fmt.Fprintf(w, "# TYPE vanguard_eta_seconds gauge\nvanguard_eta_seconds %g\n", p.ETAMS/1000)
+		if causes, slots := m.attrSnapshot(); len(causes) > 0 {
+			fmt.Fprintf(w, "# HELP vanguard_attr_slots_total Issue slots charged per attribution cause across attributed runs.\n")
+			fmt.Fprintf(w, "# TYPE vanguard_attr_slots_total counter\n")
+			for _, cause := range causes {
+				fmt.Fprintf(w, "vanguard_attr_slots_total{cause=\"%s\"} %d\n", promLabelEscape(cause), slots[cause])
+			}
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -20,8 +20,10 @@ import (
 // harnessVersion tags run-cache keys with the harness-level simulation
 // recipe (BuildBinaries pipeline, scheduling model, verification
 // discipline). Bump it when a change alters simulated results without
-// touching the engine package.
-const harnessVersion = "harness/v1"
+// touching the engine package. v2: simKey gained the Attr field, so
+// attributed runs (whose Stats carry an attribution report) never alias
+// v1 entries cached without one.
+const harnessVersion = "harness/v2"
 
 // benchJob is one (benchmark, options) experiment. The engine expands it
 // into a build unit (profile, transform, schedule — shared products) plus
@@ -130,7 +132,8 @@ func (j *benchJob) simKey(in workload.Input, width int, binary string) string {
 		DBBEntries   int
 		ICacheBytes  int
 		SampleWindow int64
-	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow})
+		Attr         bool
+	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow, j.o.Attr})
 }
 
 // simulate executes one (input, width, binary) timing run against the
@@ -209,6 +212,15 @@ func runBenchJobs(jobs []*benchJob, o Options) ([]*BenchResult, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if o.Monitor != nil {
+		// Feed per-cause slot totals to /metrics here, after the engine
+		// returns, so cache hits count the same as fresh simulations.
+		for _, st := range results {
+			if st != nil && st.Attr != nil {
+				o.Monitor.ObserveAttr(st.Attr.Slots)
+			}
+		}
 	}
 
 	out := make([]*BenchResult, len(jobs))

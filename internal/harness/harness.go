@@ -67,6 +67,12 @@ type Options struct {
 	// part of the run-cache key: sampled and unsampled results never
 	// alias.
 	SampleWindow int64
+
+	// Attr enables per-cause cycle attribution on every simulation
+	// (pipeline.Config.Attr): each run's Stats carries an attr.Report
+	// charging every issue slot to one cause. Part of the run-cache key;
+	// attributed and plain results never alias.
+	Attr bool
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -208,6 +214,7 @@ func (o *Options) machineConfig(width int) pipeline.Config {
 	cfg := pipeline.DefaultConfig(width)
 	cfg.NewPredictor = o.predictor
 	cfg.SampleWindow = o.SampleWindow
+	cfg.Attr = o.Attr
 	if o.DBBEntries > 0 {
 		cfg.DBBEntries = o.DBBEntries
 	}

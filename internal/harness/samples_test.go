@@ -1,12 +1,15 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/csv"
+	"strconv"
 	"strings"
 	"testing"
 
 	"vanguard/internal/sample"
 	"vanguard/internal/trace"
+	"vanguard/internal/workload"
 )
 
 func TestWriteSamplesCSV(t *testing.T) {
@@ -62,5 +65,105 @@ func TestWriteSamplesCSV(t *testing.T) {
 	rows, err = WriteSamplesCSV(&sb, &trace.Report{Schema: trace.Schema})
 	if err != nil || rows != 0 {
 		t.Fatalf("empty report: rows=%d err=%v, want 0 rows", rows, err)
+	}
+}
+
+// TestSamplesCSVRoundTrip is the golden round trip behind `figures
+// -samples`: simulate a real benchmark with sampling on, serialize the
+// telemetry report, read it back, export the samples CSV, parse that, and
+// check the window columns sum to each run's aggregate counters. Sampling
+// that dropped or double-counted a window would break the sums.
+func TestSamplesCSVRoundTrip(t *testing.T) {
+	c, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("missing benchmark")
+	}
+	o := fastOptions()
+	o.RefInputs = o.RefInputs[:1]
+	o.SampleWindow = 500
+	r, err := RunBenchmark(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := JSONReport("test", []*BenchResult{r}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	rows, err := WriteSamplesCSV(&sb, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == 0 {
+		t.Fatal("sampled report exported no window rows")
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("export is not valid CSV: %v", err)
+	}
+	if len(recs) != rows+1 {
+		t.Fatalf("got %d records, want header + %d rows", len(recs), rows)
+	}
+	col := map[string]int{}
+	for i, name := range recs[0] {
+		col[name] = i
+	}
+	for _, name := range sampleCSVHeader {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("exported header lacks %q", name)
+		}
+	}
+
+	// Re-aggregate the parsed rows per run and compare against the run's
+	// own counters: the windows must tile the whole simulation.
+	type runKey struct {
+		bench, label, input string
+		width               int
+	}
+	sums := map[runKey]map[string]int64{}
+	for _, rec := range recs[1:] {
+		w, err := strconv.Atoi(rec[col["width"]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := runKey{rec[col["benchmark"]], rec[col["label"]], rec[col["input"]], w}
+		if sums[k] == nil {
+			sums[k] = map[string]int64{}
+		}
+		for _, name := range []string{"committed", "issued", "br_mispredicts"} {
+			v, err := strconv.ParseInt(rec[col[name]], 10, 64)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			sums[k][name] += v
+		}
+	}
+	checked := 0
+	for _, b := range rep.Benchmarks {
+		for _, run := range b.Runs {
+			if run.Samples == nil {
+				continue
+			}
+			k := runKey{b.Name, run.Label, run.Input, run.Width}
+			s := sums[k]
+			if s == nil {
+				t.Fatalf("no CSV rows for sampled run %+v", k)
+			}
+			for _, name := range []string{"committed", "issued", "br_mispredicts"} {
+				if s[name] != run.Counters[name] {
+					t.Errorf("%+v: window %s sum = %d, aggregate = %d", k, name, s[name], run.Counters[name])
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("report carried no sampled runs")
 	}
 }

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vanguard/internal/attr"
+	"vanguard/internal/ir"
+)
+
+// TestAttrInvariant is the tentpole acceptance gate: with attribution on,
+// every issue slot of every cycle is charged to exactly one cause —
+// summed over causes the slots equal cycles × width, the per-BranchID
+// mispredict splits sum back to the aggregate mispredict-penalty
+// counters, and base work equals committed instructions.
+func TestAttrInvariant(t *testing.T) {
+	var mispredicts, loadWaits int64
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		prog, m := randomLoopProgram(r)
+		for _, w := range []int{2, 4, 8} {
+			cfg := DefaultConfig(w)
+			cfg.Attr = true
+			if seed%2 == 1 {
+				cfg.ExceptionEveryN = 512 // exercise the exception cause
+			}
+			mach := New(ir.MustLinearize(prog.Clone()), m.Clone(), cfg)
+			stats, err := mach.Run()
+			if err != nil {
+				t.Fatalf("seed %d w%d: %v", seed, w, err)
+			}
+			rep := stats.Attr
+			if rep == nil {
+				t.Fatalf("seed %d w%d: Stats.Attr nil with attribution on", seed, w)
+			}
+			if err := rep.Check(); err != nil {
+				t.Fatalf("seed %d w%d: %v", seed, w, err)
+			}
+			if rep.Cycles != stats.Cycles || rep.Width != w {
+				t.Fatalf("seed %d w%d: attr covers %d cycles at width %d, stats say %d at %d",
+					seed, w, rep.Cycles, rep.Width, stats.Cycles, w)
+			}
+			if got := rep.Slots[attr.Base.Key()]; got != stats.Committed {
+				t.Fatalf("seed %d w%d: base slots %d != committed %d", seed, w, got, stats.Committed)
+			}
+			if stats.BrMispredicts > 0 && rep.Slots[attr.BrMispredict.Key()] == 0 {
+				t.Fatalf("seed %d w%d: %d BR mispredicts but no slots charged to them",
+					seed, w, stats.BrMispredicts)
+			}
+			mispredicts += rep.Slots[attr.BrMispredict.Key()]
+			loadWaits += rep.Slots[attr.LoadWait.Key()]
+		}
+	}
+	// The random programs must actually exercise the splits we claim to test.
+	if mispredicts == 0 {
+		t.Fatal("no slots ever charged to branch mispredicts")
+	}
+	if loadWaits == 0 {
+		t.Fatal("no slots ever charged to load waits")
+	}
+}
+
+// TestAttrOffUnchanged pins byte-identity: attribution is observation
+// only. A run with Attr on produces exactly the same stats (modulo the
+// Attr report itself) as one with it off, and the attribution-off
+// telemetry report carries no attribution section.
+func TestAttrOffUnchanged(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		prog, m := randomLoopProgram(r)
+		for _, w := range []int{2, 4} {
+			off := New(ir.MustLinearize(prog.Clone()), m.Clone(), DefaultConfig(w))
+			offStats, err := off.Run()
+			if err != nil {
+				t.Fatalf("seed %d w%d off: %v", seed, w, err)
+			}
+
+			cfg := DefaultConfig(w)
+			cfg.Attr = true
+			on := New(ir.MustLinearize(prog.Clone()), m.Clone(), cfg)
+			onStats, err := on.Run()
+			if err != nil {
+				t.Fatalf("seed %d w%d on: %v", seed, w, err)
+			}
+
+			if offStats.Attr != nil {
+				t.Fatalf("seed %d w%d: attribution-off run exported an Attr report", seed, w)
+			}
+			scrubbed := *onStats
+			scrubbed.Attr = nil
+			if !reflect.DeepEqual(offStats, &scrubbed) {
+				t.Fatalf("seed %d w%d: attribution changed the simulated stats", seed, w)
+			}
+
+			var offJSON, onJSON bytes.Buffer
+			if err := json.NewEncoder(&offJSON).Encode(offStats.RunReport("timing", w)); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewEncoder(&onJSON).Encode(scrubbed.RunReport("timing", w)); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(offJSON.Bytes(), onJSON.Bytes()) {
+				t.Fatalf("seed %d w%d: run reports differ beyond the attribution section", seed, w)
+			}
+			if bytes.Contains(offJSON.Bytes(), []byte("attribution")) {
+				t.Fatalf("seed %d w%d: attribution-off report mentions attribution", seed, w)
+			}
+		}
+	}
+}
+
+// TestAttrWindows checks the optional per-window CPI stack: with sampling
+// and attribution both on, per-cause deltas summed over all windows equal
+// the whole-run attribution, and each window's slots sum to its cycle
+// count times the width.
+func TestAttrWindows(t *testing.T) {
+	prog, m := allocProbeProgram(20_000)
+	cfg := DefaultConfig(4)
+	cfg.Attr = true
+	cfg.SampleWindow = 1000
+	mach := New(ir.MustLinearize(prog), m, cfg)
+	stats, err := mach.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Samples == nil || stats.Attr == nil {
+		t.Fatal("sampling + attribution run missing a section")
+	}
+	sums := make([]int64, attr.NumCauses)
+	for i := range stats.Samples.Windows {
+		w := &stats.Samples.Windows[i]
+		if len(w.Attr) != int(attr.NumCauses) {
+			t.Fatalf("window %d: attr stack has %d causes, want %d", i, len(w.Attr), attr.NumCauses)
+		}
+		var winSlots int64
+		for c, n := range w.Attr {
+			sums[c] += n
+			winSlots += n
+		}
+		if want := w.Cycles() * int64(cfg.Width); winSlots != want {
+			t.Fatalf("window %d: %d slots over %d cycles at width %d", i, winSlots, w.Cycles(), cfg.Width)
+		}
+	}
+	for _, c := range attr.Causes() {
+		if sums[c] != stats.Attr.Slots[c.Key()] {
+			t.Fatalf("cause %s: windows sum to %d, aggregate is %d", c.Key(), sums[c], stats.Attr.Slots[c.Key()])
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocsWithAttr re-runs the PR-3 allocation gate with
+// attribution (and the sampler, whose ring also carries per-window attr
+// stacks) enabled: charging must be free of allocation in steady state.
+func TestSteadyStateZeroAllocsWithAttr(t *testing.T) {
+	prog, m := allocProbeProgram(50_000_000)
+	cfg := DefaultConfig(4)
+	cfg.Attr = true
+	cfg.SampleWindow = 1000
+	mach := New(ir.MustLinearize(prog), m, cfg)
+
+	step := func(cycles int) {
+		for i := 0; i < cycles; i++ {
+			done, err := mach.stepCycle()
+			if err != nil {
+				t.Fatalf("cycle %d: %v", i, err)
+			}
+			if done {
+				t.Fatalf("program finished during measurement (cycle %d); enlarge iters", i)
+			}
+		}
+	}
+	step(50_000) // warm up
+
+	if allocs := testing.AllocsPerRun(10, func() { step(10_000) }); allocs != 0 {
+		t.Fatalf("attributed cycle loop allocates: %v allocs per 10k cycles", allocs)
+	}
+}

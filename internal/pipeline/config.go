@@ -14,6 +14,7 @@
 package pipeline
 
 import (
+	"vanguard/internal/attr"
 	"vanguard/internal/bpred"
 	"vanguard/internal/cache"
 	"vanguard/internal/sample"
@@ -61,6 +62,13 @@ type Config struct {
 	// instructions (0 = unlimited); MaxCycles likewise.
 	MaxInstrs int64
 	MaxCycles int64
+
+	// Attr enables cycle attribution: every issue slot of every cycle is
+	// charged to exactly one cause (internal/attr) in preallocated flat
+	// arrays, exported as Stats.Attr. Off (the default) constructs no
+	// recorder: the per-cycle cost is nil checks and the run's stats and
+	// reports are byte-identical to an attribution-less build.
+	Attr bool
 
 	// SampleWindow enables the cycle-window time-series sampler: every
 	// SampleWindow cycles the machine records counter deltas into a
@@ -162,6 +170,10 @@ type Stats struct {
 	// Samples is the cycle-window time series, nil unless
 	// Config.SampleWindow was set.
 	Samples *sample.Series
+
+	// Attr is the per-cause issue-slot attribution, nil unless Config.Attr
+	// was set.
+	Attr *attr.Report
 }
 
 // BranchStats tracks one static (decomposed or plain) branch.

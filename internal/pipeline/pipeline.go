@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"vanguard/internal/attr"
 	"vanguard/internal/bpred"
 	"vanguard/internal/cache"
 	"vanguard/internal/exec"
@@ -50,6 +51,7 @@ type predecoded struct {
 	fu      isa.FU
 	flags   uint8
 	latency int32
+	branch  int32 // static BranchID (0 = unassigned)
 }
 
 // predecoded.flags bits.
@@ -69,6 +71,7 @@ func predecode(instrs []isa.Instr) []predecoded {
 		p.op = ins.Op
 		p.fu = ins.Op.Unit()
 		p.latency = int32(ins.Op.Latency())
+		p.branch = int32(ins.BranchID)
 		if ins.IsLoad() {
 			p.flags |= pdLoad
 		}
@@ -108,6 +111,7 @@ type specPoint struct {
 type regUndo struct {
 	val    int64
 	ready  int64
+	writer int32 // last-writer PC the write replaced (operand attribution)
 	reg    isa.Reg
 	poison bool
 }
@@ -272,6 +276,21 @@ type Machine struct {
 	sampler    *sample.Sampler
 	winDBBHigh int
 
+	// Cycle attribution (nil unless Config.Attr). attrCause/attrIdx note,
+	// per cycle, which cause the issue stage would blame its empty slots
+	// on; the repair pair remembers the flushing speculation point so
+	// post-flush bubbles charge to the mispredicted branch. regWriter maps
+	// each architectural register to the PC of its last writer (journaled
+	// like the register file), so an operand stall can name the load that
+	// produced the missing value.
+	attr               *attr.Recorder
+	attrCause          attr.Cause
+	attrIdx            int
+	attrRepairCause    attr.Cause
+	attrRepairIdx      int
+	fetchStallIsICache bool
+	regWriter          [isa.NumRegs]int32
+
 	// Issue-head stall run tracking (feeds the StallRun* histograms).
 	stallCause uint8
 	stallRun   int64
@@ -315,8 +334,23 @@ func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
 	}
 	mach.st = exec.NewState(sbView{mach}, im.Entry)
 	mach.nextException = cfg.ExceptionEveryN
+	if cfg.Attr {
+		maxID := 0
+		for i := range im.Instrs {
+			if id := im.Instrs[i].BranchID; id > maxID {
+				maxID = id
+			}
+		}
+		mach.attr = attr.NewRecorder(len(im.Instrs), maxID, cfg.Width)
+	}
+	for r := range mach.regWriter {
+		mach.regWriter[r] = -1
+	}
 	if cfg.SampleWindow > 0 {
 		mach.sampler = sample.New(cfg.SampleWindow, 0)
+		if cfg.Attr {
+			mach.sampler.EnableAttr()
+		}
 	}
 	return mach
 }
@@ -346,6 +380,7 @@ func (m *Machine) takeException() {
 	m.fetchHalted = false
 	m.lastFetchLine = math.MaxUint64
 	m.fetchStall += exceptionPenaltyCycles
+	m.fetchStallIsICache = false
 	// Handler activity moves the DBB tail with its own decomposed
 	// branches...
 	handlerPC := uint64(0xffff0000)
@@ -390,7 +425,14 @@ func (m *Machine) stepCycle() (done bool, err error) {
 	if m.done() {
 		return true, nil
 	}
-	m.issue()
+	if m.attr == nil {
+		m.issue()
+	} else {
+		issuedBefore := m.stats.Issued
+		m.attrCause, m.attrIdx = attr.Fetch, 0
+		m.issue()
+		m.chargeAttr(int(m.stats.Issued - issuedBefore))
+	}
 	m.fetch()
 	m.now++
 	if m.sampler != nil && m.now >= m.sampler.NextAt() {
@@ -412,7 +454,7 @@ func (m *Machine) closeSampleWindow() {
 // Stats.Committed is only materialized in finishStats; the difference
 // telescopes identically.
 func (m *Machine) sampleCounters() sample.Counters {
-	return sample.Counters{
+	c := sample.Counters{
 		Committed:      m.stats.Issued - m.stats.WrongPathIssued,
 		Issued:         m.stats.Issued,
 		BrMispredicts:  m.stats.BrMispredicts,
@@ -432,6 +474,68 @@ func (m *Machine) sampleCounters() sample.Counters {
 		L1DMisses: int64(m.Hier.L1D.Misses),
 		L2Misses:  int64(m.Hier.L2.Misses),
 	}
+	if m.attr != nil {
+		c.Attr = m.attr.Totals()
+	}
+	return c
+}
+
+// ---- cycle attribution ----
+
+// chargeAttr charges the cycle's slots after the issue stage ran: issued
+// slots to base work, the rest to the cause the issue stage noted. Until
+// the first post-flush issue, empty slots belong to the mispredicted
+// branch being repaired, whatever the front end is doing meanwhile.
+func (m *Machine) chargeAttr(issued int) {
+	cause, idx := m.attrCause, m.attrIdx
+	if issued == 0 && m.repairStart >= 0 {
+		cause, idx = m.attrRepairCause, m.attrRepairIdx
+	}
+	m.attr.ChargeCycle(issued, cause, idx)
+}
+
+// attrNoteFrontEnd blames a cycle with nothing issuable: an outstanding
+// fetch stall (I-cache miss or exception penalty), an over-subscribed
+// DBB, or a plain front-end bubble.
+func (m *Machine) attrNoteFrontEnd() {
+	switch {
+	case m.fetchStall > 0 && m.fetchStallIsICache:
+		m.attrCause, m.attrIdx = attr.ICache, 0
+	case m.fetchStall > 0:
+		m.attrCause, m.attrIdx = attr.Exception, 0
+	case m.dbbOcc > m.cfg.DBBEntries:
+		m.attrCause, m.attrIdx = attr.DBBFull, 0
+	default:
+		m.attrCause, m.attrIdx = attr.Fetch, 0
+	}
+}
+
+// attrNoteOperand blames an operand stall: a BR/RESOLVE in the blocked
+// issue window (charged to that branch's condition, mirroring the
+// stall-counter taxonomy), else the producer of the first missing operand
+// — split out per load PC when the producer is an in-flight load.
+func (m *Machine) attrNoteOperand(pd *predecoded) {
+	for k := 0; k < m.fbLen() && k < 6; k++ {
+		kpd := &m.pre[m.fb[m.fbHead+k].pc]
+		if kpd.op == isa.RESOLVE {
+			m.attrCause, m.attrIdx = attr.ResolveWindow, int(kpd.branch)
+			return
+		}
+		if kpd.op == isa.BR {
+			m.attrCause, m.attrIdx = attr.CondWait, int(kpd.branch)
+			return
+		}
+	}
+	for _, r := range pd.uses {
+		if !m.opReady(r) {
+			if wpc := m.regWriter[r]; wpc >= 0 && m.pre[wpc].flags&pdLoad != 0 {
+				m.attrCause, m.attrIdx = attr.LoadWait, int(wpc)
+				return
+			}
+			break
+		}
+	}
+	m.attrCause, m.attrIdx = attr.OperandWait, 0
 }
 
 // Run simulates to HALT (or an instruction/cycle cap) and returns stats.
@@ -482,6 +586,9 @@ func (m *Machine) finishStats() {
 	if m.sampler != nil {
 		m.sampler.Flush(m.now, m.sampleCounters(), m.winDBBHigh)
 		m.stats.Samples = m.sampler.Series()
+	}
+	if m.attr != nil {
+		m.stats.Attr = m.attr.Report()
 	}
 }
 
@@ -547,6 +654,7 @@ func (m *Machine) journalWrite(d isa.Reg) {
 	m.journal = append(m.journal, regUndo{
 		val:    m.st.Regs[d],
 		ready:  m.regReady[d],
+		writer: m.regWriter[d],
 		reg:    d,
 		poison: m.st.Poison[d],
 	})
@@ -562,6 +670,7 @@ func (m *Machine) rewindJournal(mark int64) {
 		m.st.Regs[u.reg] = u.val
 		m.st.Poison[u.reg] = u.poison
 		m.regReady[u.reg] = u.ready
+		m.regWriter[u.reg] = u.writer
 	}
 	m.journal = m.journal[:tgt]
 }
@@ -672,6 +781,20 @@ func (m *Machine) flush(sp *specPoint) {
 	}
 	if m.repairStart < 0 {
 		m.repairStart = m.now
+	}
+	if m.attr != nil {
+		// Blame the refill bubbles ahead on this flush, and re-charge the
+		// wrong-path slots it already wasted from base work to the
+		// mispredicted branch.
+		cause, id := attr.RetMispredict, 0
+		switch m.im.Instrs[sp.fe.pc].Op {
+		case isa.BR:
+			cause, id = attr.BrMispredict, m.im.Instrs[sp.fe.pc].BranchID
+		case isa.RESOLVE:
+			cause, id = attr.ResMispredict, m.im.Instrs[sp.fe.pc].BranchID
+		}
+		m.attrRepairCause, m.attrRepairIdx = cause, id
+		m.attr.MoveWrongPath(cause, id, wrongPath)
 	}
 	m.stats.WrongPathIssued += wrongPath
 	m.stats.SquashedFetched += int64(m.fbLen())
@@ -854,6 +977,9 @@ func (m *Machine) issue() {
 				m.stats.EmptyFetchCycles++
 				m.noteStall(stallEmpty)
 			}
+			if m.attr != nil {
+				m.attrNoteFrontEnd()
+			}
 			return
 		}
 		pd := &m.pre[fe.pc]
@@ -882,6 +1008,9 @@ func (m *Machine) issue() {
 				}
 				m.noteStall(cause)
 			}
+			if m.attr != nil {
+				m.attrNoteOperand(pd)
+			}
 			return
 		}
 		fu := pd.fu
@@ -889,6 +1018,9 @@ func (m *Machine) issue() {
 			if issued == 0 {
 				m.stats.FUStallCycles++
 				m.noteStall(stallFU)
+			}
+			if m.attr != nil {
+				m.attrCause, m.attrIdx = attr.FUContention, 0
 			}
 			return
 		}
@@ -899,12 +1031,19 @@ func (m *Machine) issue() {
 		m.fbPop()
 		m.issueOne(fe, pd)
 		if pd.op == isa.HALT {
+			// Post-HALT drain: remaining slots are front-end bubbles.
+			if m.attr != nil {
+				m.attrCause, m.attrIdx = attr.Fetch, 0
+			}
 			return
 		}
 	}
 	if issued == 0 && m.fbLen() == 0 {
 		m.stats.EmptyFetchCycles++
 		m.noteStall(stallEmpty)
+	}
+	if m.attr != nil && m.fbLen() == 0 {
+		m.attrNoteFrontEnd()
 	}
 }
 
@@ -973,6 +1112,7 @@ func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
 	}
 	if d := pd.def; d != isa.NoReg {
 		m.regReady[d] = completion
+		m.regWriter[d] = int32(fe.pc)
 	}
 
 	if isSpec {
@@ -1059,6 +1199,7 @@ func (m *Machine) fetch() {
 				}
 				m.underMispred = false
 				m.fetchStall = extra
+				m.fetchStallIsICache = true
 				return
 			}
 			m.underMispred = false
@@ -1122,6 +1263,9 @@ func (m *Machine) fetch() {
 			m.pred.PushHistory(taken)
 			m.DBB.Insert(addr, taken, meta, ckpt)
 			m.stats.Predicts++
+			if m.attr != nil && m.dbbOcc >= m.cfg.DBBEntries {
+				m.attr.NoteDBBOverflow()
+			}
 			m.dbbOcc++
 			if m.dbbOcc > m.stats.MaxDBBOccupancy {
 				m.stats.MaxDBBOccupancy = m.dbbOcc

@@ -56,11 +56,12 @@ func (s *Stats) RunReport(label string, width int) *trace.RunReport {
 		"stall_run_fu":      &s.StallRunFU,
 	}
 	return &trace.RunReport{
-		Label:    label,
-		Width:    width,
-		Counters: counters,
-		Rates:    rates,
-		Hists:    hists,
-		Samples:  s.Samples,
+		Label:       label,
+		Width:       width,
+		Counters:    counters,
+		Rates:       rates,
+		Hists:       hists,
+		Samples:     s.Samples,
+		Attribution: s.Attr,
 	}
 }

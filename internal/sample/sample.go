@@ -15,6 +15,8 @@
 // whole-run aggregate (TestSamplerWindows in internal/pipeline pins this).
 package sample
 
+import "vanguard/internal/attr"
+
 // Counters is the cumulative counter snapshot the pipeline hands the
 // sampler at each window boundary. The sampler differences consecutive
 // snapshots; the pipeline never computes deltas itself.
@@ -39,6 +41,11 @@ type Counters struct {
 	L1IMisses int64
 	L1DMisses int64
 	L2Misses  int64
+
+	// Attr is the cumulative per-cause slot attribution (all zero unless
+	// the machine runs with attribution). A fixed-size array keeps
+	// Counters comparable, which Flush's no-movement check relies on.
+	Attr [attr.NumCauses]int64
 }
 
 // Window is one recorded interval: cycles [Start, End), counter deltas
@@ -69,6 +76,11 @@ type Window struct {
 	L2Misses  int64 `json:"l2_misses"`
 
 	DBBHighWater int `json:"dbb_high_water"`
+
+	// Attr holds the window's per-cause issue-slot deltas in attr.Causes
+	// order — the per-window CPI stack. Present only when the producing
+	// machine sampled with attribution enabled.
+	Attr []int64 `json:"attr,omitempty"`
 }
 
 // Cycles returns the window length.
@@ -127,6 +139,10 @@ type Sampler struct {
 
 	prevStart int64
 	prev      Counters
+
+	// attrOn marks that the ring slots carry preallocated Attr slices
+	// (EnableAttr); Record then fills per-cause deltas in place.
+	attrOn bool
 }
 
 // New builds a sampler with the given window length in cycles (<= 0
@@ -145,6 +161,19 @@ func New(windowCycles int64, capWindows int) *Sampler {
 		nextAt: windowCycles,
 		ring:   make([]Window, capWindows),
 	}
+}
+
+// EnableAttr preallocates a per-cause slot-delta slice for every ring
+// window (one backing array, full-capacity sub-slices), so sampled runs
+// with attribution record per-window CPI stacks without allocating in
+// Record. Call once, before the first Record.
+func (s *Sampler) EnableAttr() {
+	n := int(attr.NumCauses)
+	backing := make([]int64, len(s.ring)*n)
+	for i := range s.ring {
+		s.ring[i].Attr = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	s.attrOn = true
 }
 
 // Window returns the configured window length in cycles.
@@ -186,6 +215,13 @@ func (s *Sampler) Record(now int64, c Counters, dbbHigh int) {
 	if s.wrapped {
 		s.dropped++
 	}
+	if s.attrOn {
+		// Reuse the slot's preallocated slice across the overwrite.
+		w.Attr = s.ring[s.next].Attr
+		for i := range w.Attr {
+			w.Attr[i] = c.Attr[i] - s.prev.Attr[i]
+		}
+	}
 	s.ring[s.next] = w
 	s.next++
 	if s.next == len(s.ring) {
@@ -226,10 +262,17 @@ func (s *Sampler) Series() *Series {
 	out := &Series{WindowCycles: s.window, Dropped: s.dropped}
 	if !s.wrapped {
 		out.Windows = append([]Window(nil), s.ring[:s.next]...)
-		return out
+	} else {
+		out.Windows = make([]Window, 0, len(s.ring))
+		out.Windows = append(out.Windows, s.ring[s.next:]...)
+		out.Windows = append(out.Windows, s.ring[:s.next]...)
 	}
-	out.Windows = make([]Window, 0, len(s.ring))
-	out.Windows = append(out.Windows, s.ring[s.next:]...)
-	out.Windows = append(out.Windows, s.ring[:s.next]...)
+	if s.attrOn {
+		// Detach from the ring's backing array: the series outlives the
+		// sampler and must not alias reusable storage.
+		for i := range out.Windows {
+			out.Windows[i].Attr = append([]int64(nil), out.Windows[i].Attr...)
+		}
+	}
 	return out
 }

@@ -54,6 +54,82 @@ func Bars(w io.Writer, title string, bars []Bar, width int) {
 	}
 }
 
+// stackRunes are the fill characters stacked-bar segments cycle through,
+// in segment order. Distinct fills keep adjacent segments tellable apart
+// in plain terminals; the legend maps each rune back to its name.
+var stackRunes = []byte("#=+:%o*.x~^&@$w")
+
+// StackedBar is one bar of a stacked chart: a label and the per-segment
+// values, parallel to the segment-name slice given to StackedBars.
+type StackedBar struct {
+	Label    string
+	Segments []float64
+}
+
+// StackedBars renders horizontal stacked bars (the CPI-stack figure):
+// each bar is split into contiguous runs of segment fill characters,
+// proportional to that segment's share, with all bars on one absolute
+// scale so their total lengths compare. Zero-width segments that are
+// nonzero render nothing rather than stealing a cell; a trailing legend
+// maps fills to segment names. Negative segment values are clamped to
+// zero (a stack has no negative area).
+func StackedBars(w io.Writer, title string, names []string, bars []StackedBar, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	fmt.Fprintln(w, title)
+	if len(bars) == 0 || len(names) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	maxTotal, labelW := 0.0, 0
+	totals := make([]float64, len(bars))
+	for i, b := range bars {
+		for _, v := range b.Segments {
+			if v > 0 {
+				totals[i] += v
+			}
+		}
+		if totals[i] > maxTotal {
+			maxTotal = totals[i]
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	for i, b := range bars {
+		var sb strings.Builder
+		// Cumulative rounding: segment k ends at round(prefix_k/max*width),
+		// so cell counts always sum to the bar's rounded total length.
+		prefix, prev := 0.0, 0
+		for s, v := range b.Segments {
+			if s >= len(names) {
+				break
+			}
+			if v > 0 {
+				prefix += v
+			}
+			end := int(prefix/maxTotal*float64(width) + 0.5)
+			for j := prev; j < end; j++ {
+				sb.WriteByte(stackRunes[s%len(stackRunes)])
+			}
+			prev = end
+		}
+		fmt.Fprintf(w, "  %-*s %10.2f |%s\n", labelW, b.Label, totals[i], sb.String())
+	}
+	var leg strings.Builder
+	for s, name := range names {
+		if s > 0 {
+			leg.WriteString("  ")
+		}
+		fmt.Fprintf(&leg, "%c=%s", stackRunes[s%len(stackRunes)], name)
+	}
+	fmt.Fprintf(w, "  legend: %s\n", leg.String())
+}
+
 // Hist renders a trace.Hist as a labelled horizontal bar chart, one row
 // per non-empty power-of-two bucket, with a summary line of count, mean
 // and tail quantiles. Empty histograms render a single placeholder row.

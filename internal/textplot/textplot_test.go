@@ -230,3 +230,70 @@ func TestSparkDegenerate(t *testing.T) {
 		t.Errorf("single point must render: %q", sb.String())
 	}
 }
+
+func TestStackedBarsProportions(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "cpi", []string{"base", "mispredict", "load"}, []StackedBar{
+		{"baseline", []float64{10, 20, 10}},
+		{"vanguard", []float64{10, 5, 5}},
+	}, 40)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want title + 2 bars + legend, got %d:\n%s", len(lines), out)
+	}
+	// The tallest bar spans the full width with cumulative-rounded
+	// segments: 10/40, 20/40, 10/40 of 40 cells = 10, 20, 10.
+	base := strings.SplitN(lines[1], "|", 2)[1]
+	if base != strings.Repeat("#", 10)+strings.Repeat("=", 20)+strings.Repeat("+", 10) {
+		t.Errorf("baseline segments wrong: %q", base)
+	}
+	// The second bar shares the absolute scale: total 20 of 40 cells.
+	vang := strings.SplitN(lines[2], "|", 2)[1]
+	if len(vang) != 20 {
+		t.Errorf("second bar must be half the first: %q", vang)
+	}
+	if !strings.Contains(lines[3], "#=base") || !strings.Contains(lines[3], "==mispredict") ||
+		!strings.Contains(lines[3], "+=load") {
+		t.Errorf("legend wrong: %q", lines[3])
+	}
+}
+
+func TestStackedBarsConservesCells(t *testing.T) {
+	// Awkward fractions: cumulative rounding must make the cell count per
+	// bar equal the rounded total, never off-by-one from per-segment
+	// rounding drift.
+	bars := []StackedBar{
+		{"a", []float64{1, 1, 1, 1, 1, 1, 1}},
+		{"b", []float64{3.3, 3.3, 0.4}},
+	}
+	var sb strings.Builder
+	StackedBars(&sb, "t", []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6"}, bars, 33)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	for i, b := range bars {
+		total := 0.0
+		for _, v := range b.Segments {
+			total += v
+		}
+		cells := strings.SplitN(lines[1+i], "|", 2)[1]
+		want := int(total/7*33 + 0.5)
+		if len(cells) != want {
+			t.Errorf("bar %s: %d cells, want %d: %q", b.Label, len(cells), want, cells)
+		}
+	}
+}
+
+func TestStackedBarsDegenerate(t *testing.T) {
+	var sb strings.Builder
+	StackedBars(&sb, "empty", []string{"x"}, nil, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty chart must say so")
+	}
+	sb.Reset()
+	// All-zero and negative segments must not crash or render junk.
+	StackedBars(&sb, "zeros", []string{"a", "b"}, []StackedBar{{"z", []float64{0, -5}}}, 10)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if cells := strings.SplitN(lines[1], "|", 2)[1]; cells != "" {
+		t.Errorf("zero/negative bar must render empty: %q", cells)
+	}
+}

@@ -5,21 +5,29 @@ import (
 	"io"
 	"os"
 
+	"vanguard/internal/attr"
 	"vanguard/internal/sample"
 )
 
-// Schema identifies the run-report wire format. Bump the suffix on any
-// incompatible change; additive changes (new counters, new hists) keep
-// the version.
+// SchemaV1/V2/V3 identify the run-report wire format — the single home of
+// the version strings every producer and consumer keys on. Bump the
+// suffix on any incompatible change; additive changes (new counters, new
+// hists) keep the version.
 //
 // SchemaV2 adds the optional per-run `samples` section (cycle-window
-// time series). A report is stamped v2 only when at least one run
-// carries samples, so sampling-off output is bit-identical to v1 and v1
-// consumers are unaffected unless they opt into sampling.
+// time series). SchemaV3 adds the optional per-run `attribution` section
+// (per-cause issue-slot accounting). A report is stamped with the highest
+// version whose section it actually carries, so sampling-off and
+// attribution-off output is bit-identical to v1 and older consumers are
+// unaffected unless they opt in.
 const (
-	Schema   = "vanguard-telemetry/v1"
+	SchemaV1 = "vanguard-telemetry/v1"
 	SchemaV2 = "vanguard-telemetry/v2"
+	SchemaV3 = "vanguard-telemetry/v3"
 )
+
+// Schema is the base (v1) schema tag new reports start from.
+const Schema = SchemaV1
 
 // Report is the single machine-readable schema shared by every CLI's
 // -json flag: vgrun emits one benchmark with one timing run, spec emits
@@ -106,6 +114,10 @@ type RunReport struct {
 	// Samples is the cycle-window time series, present only when the run
 	// was sampled (-sample-window); its presence bumps the report to v2.
 	Samples *sample.Series `json:"samples,omitempty"`
+	// Attribution is the per-cause issue-slot accounting, present only
+	// when the run attributed cycles (-attr); its presence bumps the
+	// report to v3.
+	Attribution *attr.Report `json:"attribution,omitempty"`
 }
 
 // AblationReport is one sweep of a design parameter.
@@ -132,11 +144,29 @@ func (r *Report) sampled() bool {
 	return false
 }
 
-// Write renders the report as indented JSON, stamping the v2 schema tag
-// iff a samples section is present (see SchemaV2).
+// attributed reports whether any run carries an attribution section.
+func (r *Report) attributed() bool {
+	for _, b := range r.Benchmarks {
+		for _, run := range b.Runs {
+			if run.Attribution != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Write renders the report as indented JSON, stamping the highest schema
+// tag whose optional section is present (v3 attribution wins over v2
+// samples; a plain report stays v1).
 func (r *Report) Write(w io.Writer) error {
-	if r.Schema == Schema && r.sampled() {
-		r.Schema = SchemaV2
+	if r.Schema == SchemaV1 {
+		switch {
+		case r.attributed():
+			r.Schema = SchemaV3
+		case r.sampled():
+			r.Schema = SchemaV2
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -162,7 +192,7 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, err
 	}
-	if r.Schema != Schema && r.Schema != SchemaV2 {
+	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 {
 		return nil, &SchemaError{Got: r.Schema}
 	}
 	return &r, nil
@@ -172,5 +202,5 @@ func ReadReport(rd io.Reader) (*Report, error) {
 type SchemaError struct{ Got string }
 
 func (e *SchemaError) Error() string {
-	return "trace: report schema " + e.Got + " (want " + Schema + " or " + SchemaV2 + ")"
+	return "trace: report schema " + e.Got + " (want " + SchemaV1 + ", " + SchemaV2 + " or " + SchemaV3 + ")"
 }
