@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-all bench-diff results attr-gate
+.PHONY: all build test check fmt vet race bench bench-all bench-diff bench-json results attr-gate staticcheck pipeview-gate
+
+# Pinned staticcheck version: `go run` resolves it through the module
+# proxy, so the exact analyzer version is reproducible everywhere.
+STATICCHECK_VERSION ?= 2025.1.1
 
 all: build
 
@@ -26,8 +30,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Pinned static analysis. Offline-gated: `go run pkg@version` must
+# download the tool, so when the module proxy is unreachable (air-gapped
+# build hosts) the target skips with a notice instead of failing the
+# gate on a network error.
+staticcheck:
+	@if GOFLAGS= $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./... 2>/dev/null; then \
+		echo "staticcheck: ok"; \
+	elif ! GOFLAGS= $(GO) list -m honnef.co/go/tools@$(STATICCHECK_VERSION) >/dev/null 2>&1; then \
+		echo "staticcheck: module proxy unreachable, skipping (offline)"; \
+	else \
+		GOFLAGS= $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
 # Pre-PR gate: run this before every commit.
-check: fmt vet build race
+check: fmt vet build staticcheck race
 
 # Attribution-conservation gate: every attributed fast-suite simulation
 # must charge exactly cycles x width issue slots (pipeline invariant
@@ -55,6 +72,24 @@ bench-diff:
 	$(GO) test -bench Sim -benchmem -count 3 -run '^$$' . | tee results/.bench_new.txt
 	$(GO) run ./cmd/benchdiff results/bench_baseline.txt results/.bench_new.txt
 	@rm -f results/.bench_new.txt
+
+# Perf-trajectory bookkeeping: rerun the Sim benchmarks and append the
+# per-benchmark mean sim-MIPS and allocs/op to results/bench_trajectory.json
+# under the current short revision, so throughput history accumulates
+# commit by commit (re-running a commit updates its entry in place).
+bench-json:
+	$(GO) test -bench Sim -benchmem -count 3 -run '^$$' . | tee results/.bench_new.txt
+	$(GO) run ./cmd/benchdiff -json results/bench_trajectory.json \
+		-label "$$(git rev-parse --short HEAD)" results/.bench_new.txt
+	@rm -f results/.bench_new.txt
+
+# Pipeview gate: the lifetime-capture invariants (every fetched
+# instruction reaches exactly one terminal, stage cycles are monotonic),
+# the off-path byte-identity contract, and the golden Konata/waterfall
+# renderings, uncached.
+pipeview-gate:
+	$(GO) test -run 'TestPipeview|TestLifecycle|TestKonata|TestWaterfall' -count 1 \
+		./internal/pipeline/ ./internal/pipeview/ ./internal/textplot/ ./internal/trace/
 
 # Regenerate the committed telemetry baselines under results/ through the
 # experiment engine, then fail if they drifted from the committed files.

@@ -12,10 +12,18 @@
 // but never fail the gate: the baseline predates newly added benchmarks,
 // and a renamed benchmark should update the baseline, not silently pass —
 // only a benchmark measured on both sides can regress.
+//
+// With -json (and one input file), benchdiff instead appends a labelled
+// entry — per-benchmark mean sim-MIPS and allocs/op — to a trajectory
+// file, so `make bench-json` can accumulate a perf history across
+// commits:
+//
+//	go test -bench Sim -count 3 -run '^$' . | benchdiff -json results/bench_trajectory.json -label $(git rev-parse --short HEAD) /dev/stdin
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,16 +34,23 @@ import (
 	"strings"
 )
 
+// benchSamples holds one benchmark's per-run metric samples.
+type benchSamples struct {
+	simMIPS []float64
+	allocs  []float64
+}
+
 // parseBench reads `go test -bench` output and returns, per benchmark
-// name (with the -N GOMAXPROCS suffix stripped), every sim-MIPS sample.
-func parseBench(path string) (map[string][]float64, error) {
+// name (with the -N GOMAXPROCS suffix stripped), every sim-MIPS and
+// allocs/op sample.
+func parseBench(path string) (map[string]*benchSamples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 
-	out := map[string][]float64{}
+	out := map[string]*benchSamples{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -48,23 +63,45 @@ func parseBench(path string) (map[string][]float64, error) {
 				name = name[:i]
 			}
 		}
-		// Custom metrics appear as "<value> <unit>" pairs after ns/op.
-		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] != "sim-MIPS" {
+		// Metrics appear as "<value> <unit>" pairs after the iteration
+		// count: custom ones (sim-MIPS) and testing's own (allocs/op).
+		var s *benchSamples
+		for i := 1; i+1 < len(fields); i++ {
+			unit := fields[i+1]
+			if unit != "sim-MIPS" && unit != "allocs/op" {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("%s: bad sim-MIPS value %q: %v", path, fields[i], err)
+				return nil, fmt.Errorf("%s: bad %s value %q: %v", path, unit, fields[i], err)
 			}
-			out[name] = append(out[name], v)
-			break
+			if s == nil {
+				if s = out[name]; s == nil {
+					s = &benchSamples{}
+					out[name] = s
+				}
+			}
+			if unit == "sim-MIPS" {
+				s.simMIPS = append(s.simMIPS, v)
+			} else {
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	// Keep only benchmarks that report sim-MIPS: the gate and the
+	// trajectory both track simulator throughput, not arbitrary benches.
+	for name, s := range out {
+		if len(s.simMIPS) == 0 {
+			delete(out, name)
 		}
 	}
 	return out, sc.Err()
 }
 
 func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	s := 0.0
 	for _, x := range xs {
 		s += x
@@ -77,7 +114,7 @@ func mean(xs []float64) float64 {
 // maxRegress percent. One-sided benchmarks print as `new` or `removed`
 // and never count as regressions, and a zero baseline mean (a degenerate
 // measurement, not a slowdown) is skipped rather than divided by.
-func compare(w io.Writer, base, cur map[string][]float64, maxRegress float64) bool {
+func compare(w io.Writer, base, cur map[string]*benchSamples, maxRegress float64) bool {
 	names := make([]string, 0, len(base)+len(cur))
 	for n := range base {
 		names = append(names, n)
@@ -96,11 +133,11 @@ func compare(w io.Writer, base, cur map[string][]float64, maxRegress float64) bo
 		nv, inCur := cur[n]
 		switch {
 		case !inCur:
-			fmt.Fprintf(w, "%-28s %12.2f %12s %9s\n", n, mean(ov), "-", "removed")
+			fmt.Fprintf(w, "%-28s %12.2f %12s %9s\n", n, mean(ov.simMIPS), "-", "removed")
 		case !inBase:
-			fmt.Fprintf(w, "%-28s %12s %12.2f %9s\n", n, "-", mean(nv), "new")
+			fmt.Fprintf(w, "%-28s %12s %12.2f %9s\n", n, "-", mean(nv.simMIPS), "new")
 		default:
-			ob, nb := mean(ov), mean(nv)
+			ob, nb := mean(ov.simMIPS), mean(nv.simMIPS)
 			if ob == 0 {
 				fmt.Fprintf(w, "%-28s %12.2f %12.2f %9s\n", n, ob, nb, "no-base")
 				continue
@@ -117,11 +154,97 @@ func compare(w io.Writer, base, cur map[string][]float64, maxRegress float64) bo
 	return failed
 }
 
+// Trajectory file shapes (results/bench_trajectory.json).
+const trajectorySchema = "vanguard-bench-trajectory/v1"
+
+type trajectory struct {
+	Schema  string            `json:"schema"`
+	Entries []trajectoryEntry `json:"entries"`
+}
+
+type trajectoryEntry struct {
+	Label      string                    `json:"label"`
+	Benchmarks map[string]trajectoryItem `json:"benchmarks"`
+}
+
+type trajectoryItem struct {
+	SimMIPS     float64 `json:"sim_mips"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// appendTrajectory loads (or initialises) the trajectory file, replaces
+// any existing entry with the same label (re-running a commit updates in
+// place rather than duplicating), appends the new entry, and writes the
+// file back atomically via a temp-file rename.
+func appendTrajectory(path, label string, cur map[string]*benchSamples) error {
+	tr := trajectory{Schema: trajectorySchema}
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &tr); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if tr.Schema != trajectorySchema {
+			return fmt.Errorf("%s: schema %q (want %s)", path, tr.Schema, trajectorySchema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	entry := trajectoryEntry{Label: label, Benchmarks: map[string]trajectoryItem{}}
+	for name, s := range cur {
+		entry.Benchmarks[name] = trajectoryItem{
+			SimMIPS:     mean(s.simMIPS),
+			AllocsPerOp: mean(s.allocs),
+		}
+	}
+	kept := tr.Entries[:0]
+	for _, e := range tr.Entries {
+		if e.Label != label {
+			kept = append(kept, e)
+		}
+	}
+	tr.Entries = append(kept, entry)
+
+	buf, err := json.MarshalIndent(&tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	maxRegress := flag.Float64("max-regress", 10, "maximum tolerated sim-MIPS drop in percent")
+	jsonOut := flag.String("json", "", "append a labelled per-benchmark entry (mean sim-MIPS, allocs/op) to this trajectory file instead of diffing; takes one input file")
+	label := flag.String("label", "", "entry label for -json (conventionally the short git revision)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -json trajectory.json -label rev new.txt")
+			os.Exit(2)
+		}
+		if *label == "" {
+			log.Fatal("-json requires -label")
+		}
+		cur, err := parseBench(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(cur) == 0 {
+			log.Fatalf("%s: no sim-MIPS benchmark lines found", flag.Arg(0))
+		}
+		if err := appendTrajectory(*jsonOut, *label, cur); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d benchmark(s) as %q in %s\n", len(cur), *label, *jsonOut)
+		return
+	}
+
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] baseline.txt new.txt")
 		os.Exit(2)

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// mips builds a benchSamples from sim-MIPS values alone.
+func mips(xs ...float64) *benchSamples { return &benchSamples{simMIPS: xs} }
+
 func TestCompareTwoSided(t *testing.T) {
-	base := map[string][]float64{"BenchmarkSimW4": {100, 110}, "BenchmarkSimW8": {200}}
-	cur := map[string][]float64{"BenchmarkSimW4": {104}, "BenchmarkSimW8": {150}}
+	base := map[string]*benchSamples{"BenchmarkSimW4": mips(100, 110), "BenchmarkSimW8": mips(200)}
+	cur := map[string]*benchSamples{"BenchmarkSimW4": mips(104), "BenchmarkSimW8": mips(150)}
 	var sb strings.Builder
 	if failed := compare(&sb, base, cur, 10); !failed {
 		t.Fatalf("25%% drop on SimW8 must fail the 10%% gate:\n%s", sb.String())
@@ -26,8 +30,8 @@ func TestCompareTwoSided(t *testing.T) {
 func TestCompareOneSidedNeverRegresses(t *testing.T) {
 	// A benchmark missing from either side must print as new/removed and
 	// must not trip the gate — this was the false-regression bug.
-	base := map[string][]float64{"BenchmarkSimOld": {100}, "BenchmarkSimBoth": {50}}
-	cur := map[string][]float64{"BenchmarkSimNew": {1}, "BenchmarkSimBoth": {50}}
+	base := map[string]*benchSamples{"BenchmarkSimOld": mips(100), "BenchmarkSimBoth": mips(50)}
+	cur := map[string]*benchSamples{"BenchmarkSimNew": mips(1), "BenchmarkSimBoth": mips(50)}
 	var sb strings.Builder
 	if failed := compare(&sb, base, cur, 10); failed {
 		t.Fatalf("one-sided benchmarks must not fail the gate:\n%s", sb.String())
@@ -42,8 +46,8 @@ func TestCompareOneSidedNeverRegresses(t *testing.T) {
 }
 
 func TestCompareZeroBaseline(t *testing.T) {
-	base := map[string][]float64{"BenchmarkSimZ": {0}}
-	cur := map[string][]float64{"BenchmarkSimZ": {10}}
+	base := map[string]*benchSamples{"BenchmarkSimZ": mips(0)}
+	cur := map[string]*benchSamples{"BenchmarkSimZ": mips(10)}
 	var sb strings.Builder
 	if failed := compare(&sb, base, cur, 10); failed {
 		t.Fatalf("zero baseline mean must be skipped, not divided:\n%s", sb.String())
@@ -54,8 +58,8 @@ func TestCompareZeroBaseline(t *testing.T) {
 }
 
 func TestCompareDeterministicOrder(t *testing.T) {
-	base := map[string][]float64{"BenchmarkB": {1}, "BenchmarkD": {1}}
-	cur := map[string][]float64{"BenchmarkA": {1}, "BenchmarkC": {1}, "BenchmarkB": {1}}
+	base := map[string]*benchSamples{"BenchmarkB": mips(1), "BenchmarkD": mips(1)}
+	cur := map[string]*benchSamples{"BenchmarkA": mips(1), "BenchmarkC": mips(1), "BenchmarkB": mips(1)}
 	var sb strings.Builder
 	compare(&sb, base, cur, 10)
 	out := sb.String()
@@ -77,10 +81,10 @@ func TestParseBench(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.txt")
 	text := `goos: linux
-BenchmarkSimW4-8   	      10	 104042625 ns/op	        12.50 sim-MIPS	       0 B/op
-BenchmarkSimW4-8   	      10	 100042625 ns/op	        13.50 sim-MIPS	       0 B/op
+BenchmarkSimW4-8   	      10	 104042625 ns/op	        12.50 sim-MIPS	       0 B/op	     163 allocs/op
+BenchmarkSimW4-8   	      10	 100042625 ns/op	        13.50 sim-MIPS	       0 B/op	     165 allocs/op
 BenchmarkSimW8-8   	       5	 204042625 ns/op	         7.25 sim-MIPS
-BenchmarkNoMetric-8	      10	 104042625 ns/op
+BenchmarkNoMetric-8	      10	 104042625 ns/op	       0 B/op	     999 allocs/op
 PASS
 `
 	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
@@ -93,10 +97,63 @@ PASS
 	if len(got) != 2 {
 		t.Fatalf("want 2 benchmarks with sim-MIPS, got %v", got)
 	}
-	if xs := got["BenchmarkSimW4"]; len(xs) != 2 || xs[0] != 12.5 || xs[1] != 13.5 {
-		t.Fatalf("BenchmarkSimW4 samples = %v", xs)
+	if s := got["BenchmarkSimW4"]; len(s.simMIPS) != 2 || s.simMIPS[0] != 12.5 || s.simMIPS[1] != 13.5 {
+		t.Fatalf("BenchmarkSimW4 sim-MIPS samples = %v", s.simMIPS)
 	}
-	if xs := got["BenchmarkSimW8"]; len(xs) != 1 || xs[0] != 7.25 {
-		t.Fatalf("BenchmarkSimW8 samples = %v", xs)
+	if s := got["BenchmarkSimW4"]; len(s.allocs) != 2 || s.allocs[0] != 163 || s.allocs[1] != 165 {
+		t.Fatalf("BenchmarkSimW4 allocs/op samples = %v", s.allocs)
+	}
+	if s := got["BenchmarkSimW8"]; len(s.simMIPS) != 1 || s.simMIPS[0] != 7.25 || len(s.allocs) != 0 {
+		t.Fatalf("BenchmarkSimW8 samples = %+v", s)
+	}
+}
+
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	cur := map[string]*benchSamples{
+		"BenchmarkSimW4": {simMIPS: []float64{10, 12}, allocs: []float64{163, 163}},
+	}
+	if err := appendTrajectory(path, "rev1", cur); err != nil {
+		t.Fatal(err)
+	}
+	// Appending a second label accumulates; re-recording the first
+	// replaces in place rather than duplicating.
+	cur["BenchmarkSimW4"].simMIPS = []float64{20}
+	if err := appendTrajectory(path, "rev2", cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendTrajectory(path, "rev1", cur); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trajectory
+	if err := json.Unmarshal(buf, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != trajectorySchema {
+		t.Errorf("schema %q", tr.Schema)
+	}
+	if len(tr.Entries) != 2 {
+		t.Fatalf("want 2 entries (rev1 replaced in place), got %+v", tr.Entries)
+	}
+	if tr.Entries[0].Label != "rev2" || tr.Entries[1].Label != "rev1" {
+		t.Errorf("entry order %q, %q", tr.Entries[0].Label, tr.Entries[1].Label)
+	}
+	item := tr.Entries[1].Benchmarks["BenchmarkSimW4"]
+	if item.SimMIPS != 20 || item.AllocsPerOp != 163 {
+		t.Errorf("rev1 item = %+v", item)
+	}
+
+	// A schema-mismatched file is an error, not silent clobbering.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendTrajectory(bad, "rev", cur); err == nil {
+		t.Error("mismatched schema accepted")
 	}
 }

@@ -78,6 +78,7 @@ func main() {
 		schemaF   = flag.Bool("schema", false, "print the telemetry schema version -json would emit, then exit")
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a per-run counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
 		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation; -json reports gain per-run attribution sections (schema "+trace.SchemaV3+")")
+		pview     = flag.String("pipeview", "", "capture per-instruction pipeline lifetimes on the named benchmark's simulations; -json reports gain per-run pipeview sections (schema "+trace.SchemaV4+")")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
@@ -89,8 +90,11 @@ func main() {
 	flag.Parse()
 	if *schemaF {
 		// Reports carry the optional sections (and their tags) only when the
-		// producing flag is on; attribution (v3) outranks sampling (v2).
+		// producing flag is on; pipeview (v4) outranks attribution (v3)
+		// outranks sampling (v2).
 		switch {
+		case *pview != "":
+			fmt.Println(trace.SchemaV4)
 		case *attrF:
 			fmt.Println(trace.SchemaV3)
 		case *sampleWin > 0:
@@ -111,6 +115,7 @@ func main() {
 	o.EngineStats = es
 	o.SampleWindow = *sampleWin
 	o.Attr = *attrF
+	o.PipeviewBench = *pview
 	if !*noCache && *cacheDir != "" {
 		c, err := engine.Open(*cacheDir)
 		if err != nil {

@@ -35,6 +35,7 @@ import (
 	"vanguard/internal/ir"
 	"vanguard/internal/mem"
 	"vanguard/internal/pipeline"
+	"vanguard/internal/pipeview"
 	"vanguard/internal/profile"
 	"vanguard/internal/sample"
 	"vanguard/internal/sched"
@@ -52,11 +53,17 @@ func main() {
 		maxInstrs = flag.Int64("max-instrs", 50_000_000, "functional instruction cap")
 		doTrace   = flag.Bool("trace", false, "print issue/mispredict events from the timing run (historical line format)")
 		traceAll  = flag.Bool("trace-all", false, "like -trace, but print every lifecycle event (fetch, commit, squash, DBB push/pop, cache misses, faults)")
-		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+"; "+trace.SchemaV2+" when sampling is on, "+trace.SchemaV3+" with -attr) to this file")
+		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+"; "+trace.SchemaV2+" when sampling is on, "+trace.SchemaV3+" with -attr, "+trace.SchemaV4+" with -pipeview) to this file")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace_event timeline (open in chrome://tracing or ui.perfetto.dev) to this file")
 		noHists   = flag.Bool("no-hists", false, "suppress the ASCII histograms in the text report")
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
 		attrOn    = flag.Bool("attr", false, "charge every issue slot to a cause: print the CPI stack and offender tables, add an attribution section to -json reports")
+		pviewOn   = flag.Bool("pipeview", false, "record per-instruction pipeline lifetimes: print an ASCII waterfall and squash genealogy, add a pipeview section to -json reports (schema "+trace.SchemaV4+")")
+		konataOut = flag.String("konata", "", "write the captured lifetimes in Konata/O3PipeView format (open in the Konata viewer) to this file; implies -pipeview")
+		pvAround  = flag.Int("pipeview-around", 0, "capture around the Nth squash/misprediction instead of the run's tail (implies -pipeview)")
+		pvFrom    = flag.Int64("pipeview-from", 0, "with -pipeview-to: capture the explicit cycle range [from, to) (implies -pipeview)")
+		pvTo      = flag.Int64("pipeview-to", 0, "see -pipeview-from")
+		pvEvery   = flag.Int64("pipeview-every", 0, "capture one burst of records at the start of every N-cycle window (implies -pipeview)")
 		attrDiff  = flag.Bool("attr-diff", false, "profile, decompose, and simulate the baseline and vanguard binaries with attribution on; print the CPI-stack delta and per-branch recovery table, then exit")
 		attrCSV   = flag.String("attr-csv", "", "with -attr-diff: also write PREFIX.cpistack.csv and PREFIX.branches.csv")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
@@ -167,15 +174,28 @@ func main() {
 	// hits skip the memory cross-check (the run was verified when its
 	// result was computed and stored).
 	tracing := *doTrace || *traceAll || *chromeOut != "" || *cpuProf != ""
+
+	// Pipeview capture rides inside Stats, so pipeviewed runs stay
+	// cacheable: the waterfall, genealogy and Konata renderings below all
+	// work from the cached report.
+	var pvCfg *pipeview.Config
+	if *pviewOn || *konataOut != "" || *pvAround > 0 || *pvTo > 0 || *pvEvery > 0 {
+		c := pipeview.DefaultConfig()
+		c.AroundSquash = *pvAround
+		c.From, c.To = *pvFrom, *pvTo
+		c.EveryWindow = *pvEvery
+		pvCfg = &c
+	}
 	key := ""
 	if !tracing {
-		key = engine.Key("vgrun/v2", string(src), *width, *transform, *maxInstrs, *sampleWin, *attrOn)
+		key = engine.Key("vgrun/v3", string(src), *width, *transform, *maxInstrs, *sampleWin, *attrOn, pvCfg)
 	}
 
 	runTiming := func(context.Context) (*pipeline.Stats, error) {
 		cfg := pipeline.DefaultConfig(*width)
 		cfg.SampleWindow = *sampleWin
 		cfg.Attr = *attrOn
+		cfg.Pipeview = pvCfg
 		mach := pipeline.New(im, mem.New(), cfg)
 
 		// An always-on bounded ring keeps the most recent lifecycle events
@@ -268,6 +288,20 @@ func main() {
 	if st.Attr != nil {
 		fmt.Println()
 		harness.WriteAttrReport(os.Stdout, "cycle attribution (cycles by cause)", st.Attr, 10)
+	}
+
+	if pv := st.Pipeview; pv != nil {
+		fmt.Println()
+		title := fmt.Sprintf("pipeline waterfall (%s trigger)", pv.Trigger)
+		textplot.Waterfall(os.Stdout, title, pv, 64)
+		fmt.Println()
+		pipeview.WriteGenealogy(os.Stdout, pv, st.Attr)
+		if *konataOut != "" {
+			if err := pipeview.WriteKonataFile(*konataOut, pv); err != nil {
+				log.Fatalf("konata: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (open in the Konata pipeline viewer)\n", *konataOut)
+		}
 	}
 
 	if *jsonOut != "" {

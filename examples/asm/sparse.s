@@ -1,0 +1,67 @@
+; Dot product over a sparse vector whose zero pattern repeats with
+; period 5 (1,1,0,0,1): the sparsity branch is 60/40 biased but almost
+; perfectly predictable -- exactly the corner the decomposed branch
+; transformation targets. The prologue writes the pattern itself, so the
+; program is self-contained. Try:
+;
+;   go run ./cmd/vgrun -pipeview-around 2 examples/asm/sparse.s
+;   go run ./cmd/vgrun -transform -dump examples/asm/sparse.s
+;   go run ./cmd/vgrun -transform -pipeview-around 2 examples/asm/sparse.s
+;
+; (EXPERIMENTS.md walks through the baseline-vs-vanguard waterfalls.)
+func main
+init:
+	li      r0, 0
+	li      r1, 0           ; i
+	li      r2, 510         ; n (multiple of the pattern period)
+	li      r3, 1048576     ; &x[0]
+	li      r4, 1310720     ; &y[0]
+	li      r10, 0          ; acc
+	li      r13, 1          ; the nonzero fill value
+fill:
+	muli    r5, r1, 8
+	add     r6, r5, r3
+	st      0(r6), r13      ; x[i+0] = 1
+	st      8(r6), r13      ; x[i+1] = 1
+	st      16(r6), r0      ; x[i+2] = 0
+	st      24(r6), r0      ; x[i+3] = 0
+	st      32(r6), r13     ; x[i+4] = 1
+	add     r9, r5, r4
+	st      0(r9), r13      ; y[i..i+4] = 1, so dense hits accumulate
+	st      8(r9), r13
+	st      16(r9), r13
+	st      24(r9), r13
+	st      32(r9), r13
+	addi    r1, r1, 5
+	cmplt   r8, r1, r2
+	br      r8, fill #3
+	li      r1, 0           ; restart i for the main loop
+loop:
+	muli    r5, r1, 8
+	add     r6, r5, r3
+	ld      r7, 0(r6)       ; x[i]
+	cmpne   r8, r7, r0
+	br      r8, dense #1    ; nonzero -> do the multiply
+sparse:
+	jmp     next
+dense:
+	add     r9, r5, r4
+	ld      r11, 0(r9)      ; y[i]
+	mul     r12, r7, r11
+	add     r10, r10, r12
+next:
+	addi    r1, r1, 1
+	cmplt   r8, r1, r2
+	br      r8, loop #2
+done:
+	li      r13, 16777216   ; out
+	st      0(r13), r10
+	call    finish
+	halt
+endfunc
+
+func finish
+entry:
+	addi    r20, r20, 1
+	ret
+endfunc

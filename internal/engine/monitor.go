@@ -20,16 +20,17 @@ import (
 // calls (a CLI invocation enqueues unit sets as it goes); totals are
 // additive. All methods are safe for concurrent use.
 type Monitor struct {
-	mu        sync.Mutex
-	started   time.Time
-	total     int
-	done      int
-	failed    int
-	cacheHits int
-	jobs      int // high-water of configured workers, for the idle-ETA divisor
-	ewma      time.Duration
-	active    map[int]activeUnit
-	nextSlot  int
+	mu          sync.Mutex
+	started     time.Time
+	total       int
+	done        int
+	failed      int
+	cacheHits   int
+	cacheMisses int
+	jobs        int // high-water of configured workers, for the idle-ETA divisor
+	ewma        time.Duration
+	active      map[int]activeUnit
+	nextSlot    int
 	// attrSlots accumulates per-cause issue-slot totals from attributed
 	// runs (harness calls ObserveAttr once per simulated result). Keys are
 	// the attr cause keys; the map is passed by value semantics only
@@ -120,6 +121,9 @@ func (m *Monitor) endUnit(slot int, wall time.Duration, cacheHit, failed bool) {
 	m.mu.Lock()
 	delete(m.active, slot)
 	m.done++
+	if !cacheHit {
+		m.cacheMisses++
+	}
 	switch {
 	case failed:
 		m.failed++
@@ -146,14 +150,15 @@ type WorkerUnit struct {
 // remaining-unit estimate remaining×EWMA÷active-workers; it is zero
 // until the first computed unit retires.
 type Progress struct {
-	Total      int          `json:"total"`
-	Done       int          `json:"done"`
-	Failed     int          `json:"failed"`
-	CacheHits  int          `json:"cache_hits"`
-	Workers    []WorkerUnit `json:"workers,omitempty"`
-	EWMAUnitMS float64      `json:"ewma_unit_ms"`
-	ETAMS      float64      `json:"eta_ms"`
-	ElapsedMS  float64      `json:"elapsed_ms"`
+	Total       int          `json:"total"`
+	Done        int          `json:"done"`
+	Failed      int          `json:"failed"`
+	CacheHits   int          `json:"cache_hits"`
+	CacheMisses int          `json:"cache_misses"`
+	Workers     []WorkerUnit `json:"workers,omitempty"`
+	EWMAUnitMS  float64      `json:"ewma_unit_ms"`
+	ETAMS       float64      `json:"eta_ms"`
+	ElapsedMS   float64      `json:"elapsed_ms"`
 }
 
 // Snapshot returns the current progress under one lock acquisition, so
@@ -163,12 +168,13 @@ func (m *Monitor) Snapshot() Progress {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p := Progress{
-		Total:      m.total,
-		Done:       m.done,
-		Failed:     m.failed,
-		CacheHits:  m.cacheHits,
-		EWMAUnitMS: float64(m.ewma) / float64(time.Millisecond),
-		ElapsedMS:  float64(now.Sub(m.started)) / float64(time.Millisecond),
+		Total:       m.total,
+		Done:        m.done,
+		Failed:      m.failed,
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMisses,
+		EWMAUnitMS:  float64(m.ewma) / float64(time.Millisecond),
+		ElapsedMS:   float64(now.Sub(m.started)) / float64(time.Millisecond),
 	}
 	for slot, a := range m.active {
 		p.Workers = append(p.Workers, WorkerUnit{
@@ -272,6 +278,10 @@ func (m *Monitor) Handler() http.Handler {
 		fmt.Fprintf(w, "# TYPE vanguard_units_failed gauge\nvanguard_units_failed %d\n", p.Failed)
 		fmt.Fprintf(w, "# HELP vanguard_cache_hits_total Units served from the run cache.\n")
 		fmt.Fprintf(w, "# TYPE vanguard_cache_hits_total gauge\nvanguard_cache_hits_total %d\n", p.CacheHits)
+		fmt.Fprintf(w, "# HELP vanguard_cache_misses_total Units computed because the run cache had no entry (includes failures).\n")
+		fmt.Fprintf(w, "# TYPE vanguard_cache_misses_total gauge\nvanguard_cache_misses_total %d\n", p.CacheMisses)
+		fmt.Fprintf(w, "# HELP vanguard_unit_errors_total Units that returned an error (alias of vanguard_units_failed for error-rate dashboards).\n")
+		fmt.Fprintf(w, "# TYPE vanguard_unit_errors_total gauge\nvanguard_unit_errors_total %d\n", p.Failed)
 		fmt.Fprintf(w, "# HELP vanguard_workers_active Units currently executing.\n")
 		fmt.Fprintf(w, "# TYPE vanguard_workers_active gauge\nvanguard_workers_active %d\n", len(p.Workers))
 		fmt.Fprintf(w, "# HELP vanguard_unit_latency_ewma_seconds EWMA wall time of computed units.\n")

@@ -170,7 +170,11 @@ func TestMetricsPromFormat(t *testing.T) {
 	mon := NewMonitor()
 	mon.addRun(4, 2)
 	slot := mon.beginUnit("u")
-	mon.endUnit(slot, 0, false, false)
+	mon.endUnit(slot, 0, false, false) // computed: a cache miss
+	slot = mon.beginUnit("u2")
+	mon.endUnit(slot, 0, true, false) // cache hit
+	slot = mon.beginUnit("u3")
+	mon.endUnit(slot, 0, false, true) // failed: also a cache miss
 	mon.ObserveAttr(map[string]int64{
 		"base":          100,
 		"br_mispredict": 40,
@@ -189,6 +193,9 @@ func TestMetricsPromFormat(t *testing.T) {
 		`vanguard_attr_slots_total{cause="base"} 120`,
 		`vanguard_attr_slots_total{cause="br_mispredict"} 40`,
 		`vanguard_attr_slots_total{cause="odd\"cause\\n"} 7`,
+		"vanguard_cache_hits_total 1",
+		"vanguard_cache_misses_total 2",
+		"vanguard_unit_errors_total 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, text)

@@ -12,6 +12,7 @@ import (
 	"vanguard/internal/ir"
 	"vanguard/internal/mem"
 	"vanguard/internal/pipeline"
+	"vanguard/internal/pipeview"
 	"vanguard/internal/profile"
 	"vanguard/internal/trace"
 	"vanguard/internal/workload"
@@ -22,8 +23,10 @@ import (
 // discipline). Bump it when a change alters simulated results without
 // touching the engine package. v2: simKey gained the Attr field, so
 // attributed runs (whose Stats carry an attribution report) never alias
-// v1 entries cached without one.
-const harnessVersion = "harness/v2"
+// v1 entries cached without one. v3: simKey gained the Pipeview field,
+// so pipeviewed runs (whose Stats carry a lifetime-capture report) never
+// alias v2 entries cached without one.
+const harnessVersion = "harness/v3"
 
 // benchJob is one (benchmark, options) experiment. The engine expands it
 // into a build unit (profile, transform, schedule — shared products) plus
@@ -133,7 +136,8 @@ func (j *benchJob) simKey(in workload.Input, width int, binary string) string {
 		ICacheBytes  int
 		SampleWindow int64
 		Attr         bool
-	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow, j.o.Attr})
+		Pipeview     bool
+	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow, j.o.Attr, j.o.PipeviewBench == j.c.Name})
 }
 
 // simulate executes one (input, width, binary) timing run against the
@@ -152,7 +156,12 @@ func (j *benchJob) simulate(inputIdx, width int, binary string) (*pipeline.Stats
 		im = a.expIm
 	}
 	in := j.o.RefInputs[inputIdx]
-	mach := pipeline.New(j.c.PatchIters(im, in.Iters), ia.refMem.Clone(), j.o.machineConfig(width))
+	cfg := j.o.machineConfig(width)
+	if j.o.PipeviewBench == j.c.Name {
+		pv := pipeview.DefaultConfig()
+		cfg.Pipeview = &pv
+	}
+	mach := pipeline.New(j.c.PatchIters(im, in.Iters), ia.refMem.Clone(), cfg)
 	st, err := mach.Run()
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s w%d: %w", j.c.Name, binary, width, err)

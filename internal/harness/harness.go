@@ -73,6 +73,14 @@ type Options struct {
 	// charging every issue slot to one cause. Part of the run-cache key;
 	// attributed and plain results never alias.
 	Attr bool
+
+	// PipeviewBench names one benchmark whose simulations run with the
+	// pipeline waterfall recorder enabled (pipeview.DefaultConfig): their
+	// Stats carry a trace.PipeviewReport of per-instruction lifetimes.
+	// Empty disables pipeview everywhere. Part of the run-cache key:
+	// pipeviewed and plain results never alias, and capture stays cheap by
+	// being scoped to the one benchmark under study.
+	PipeviewBench string
 }
 
 // DefaultOptions returns the paper's evaluation setup.

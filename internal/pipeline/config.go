@@ -17,6 +17,7 @@ import (
 	"vanguard/internal/attr"
 	"vanguard/internal/bpred"
 	"vanguard/internal/cache"
+	"vanguard/internal/pipeview"
 	"vanguard/internal/sample"
 	"vanguard/internal/trace"
 )
@@ -76,6 +77,16 @@ type Config struct {
 	// default) disables sampling entirely — no sampler is constructed
 	// and the per-cycle cost is a single nil check.
 	SampleWindow int64
+
+	// Pipeview enables the pipeline waterfall recorder: a trace sink that
+	// assembles per-instruction lifetime records (fetch, issue, writeback,
+	// commit/squash/drop cycles with cause and DBB linkage) into
+	// preallocated ring storage, exported as Stats.Pipeview. Nil (the
+	// default) constructs no recorder: the off-path cost is the same nil
+	// checks as an unset Sink and the run's stats and reports are
+	// byte-identical to a pipeview-less build. The recorder observes and
+	// never steers — enabling it leaves simulated timing unchanged.
+	Pipeview *pipeview.Config
 
 	// debugCheckpoints additionally takes a full register-file snapshot at
 	// every speculation point and cross-checks the undo-journal rewind
@@ -174,6 +185,10 @@ type Stats struct {
 	// Attr is the per-cause issue-slot attribution, nil unless Config.Attr
 	// was set.
 	Attr *attr.Report
+
+	// Pipeview is the per-instruction lifetime capture, nil unless
+	// Config.Pipeview was set.
+	Pipeview *trace.PipeviewReport
 }
 
 // BranchStats tracks one static (decomposed or plain) branch.

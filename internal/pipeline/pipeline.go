@@ -12,6 +12,7 @@ import (
 	"vanguard/internal/ir"
 	"vanguard/internal/isa"
 	"vanguard/internal/mem"
+	"vanguard/internal/pipeview"
 	"vanguard/internal/sample"
 	"vanguard/internal/trace"
 )
@@ -269,6 +270,13 @@ type Machine struct {
 
 	dbbOcc int // currently outstanding decomposed branches
 
+	// Pipeline waterfall recorder (nil unless Config.Pipeview). It is a
+	// trace sink teed into Sink at Run, so it sees the same event stream
+	// as any user-attached sink; Emit is allocation-free and the recorder
+	// only observes, so simulated timing is unchanged.
+	pview         *pipeview.Recorder
+	pviewAttached bool
+
 	// Cycle-window sampler (nil unless Config.SampleWindow > 0). The
 	// per-cycle cost of a nil sampler is one nil check in stepCycle;
 	// winDBBHigh tracks the occupancy high-water inside the open window
@@ -352,7 +360,19 @@ func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
 			mach.sampler.EnableAttr()
 		}
 	}
+	if cfg.Pipeview != nil {
+		mach.pview = pipeview.NewRecorder(*cfg.Pipeview)
+	}
 	return mach
+}
+
+// attachPipeview tees the waterfall recorder into the event sink (idempotent;
+// called at Run so a caller-assigned Sink is already in place).
+func (m *Machine) attachPipeview() {
+	if m.pview != nil && !m.pviewAttached {
+		m.Sink = trace.Tee(m.Sink, m.pview)
+		m.pviewAttached = true
+	}
 }
 
 // exceptionPenaltyCycles models the cost of entering and leaving the
@@ -544,6 +564,7 @@ func (m *Machine) Run() (*Stats, error) {
 	if maxCycles <= 0 {
 		maxCycles = 2_000_000_000
 	}
+	m.attachPipeview()
 	if m.Sink != nil && m.Hier.OnMiss == nil {
 		m.Hier.OnMiss = func(ms cache.Miss) {
 			cause := trace.CauseDCache
@@ -589,6 +610,10 @@ func (m *Machine) finishStats() {
 	}
 	if m.attr != nil {
 		m.stats.Attr = m.attr.Report()
+	}
+	if m.pview != nil {
+		m.pview.Finalize(m.now, m.infLen() == 0)
+		m.stats.Pipeview = m.pview.Report()
 	}
 }
 
@@ -776,7 +801,14 @@ func (m *Machine) resolve() {
 func (m *Machine) flush(sp *specPoint) {
 	wrongPath := m.stats.Issued - sp.issuedSnapshot
 	if m.Sink != nil {
-		m.Sink.Emit(trace.Event{Kind: trace.KindSquash, Cycle: m.now,
+		cause := trace.CauseReturn
+		switch m.im.Instrs[sp.fe.pc].Op {
+		case isa.BR:
+			cause = trace.CauseBranch
+		case isa.RESOLVE:
+			cause = trace.CauseResolve
+		}
+		m.Sink.Emit(trace.Event{Kind: trace.KindSquash, Cause: cause, Cycle: m.now,
 			Seq: sp.fe.seq, PC: sp.fe.pc, Val: wrongPath + int64(m.fbLen())})
 	}
 	if m.repairStart < 0 {
@@ -1113,6 +1145,12 @@ func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
 	if d := pd.def; d != isa.NoReg {
 		m.regReady[d] = completion
 		m.regWriter[d] = int32(fe.pc)
+	}
+	if m.Sink != nil {
+		// Writeback telemetry: emitted now (the scoreboard ready time is
+		// known at issue), with the writeback cycle in Val.
+		m.Sink.Emit(trace.Event{Kind: trace.KindComplete, Cycle: m.now,
+			Seq: fe.seq, PC: fe.pc, Val: completion})
 	}
 
 	if isSpec {

@@ -63,5 +63,6 @@ func (s *Stats) RunReport(label string, width int) *trace.RunReport {
 		Hists:       hists,
 		Samples:     s.Samples,
 		Attribution: s.Attr,
+		Pipeview:    s.Pipeview,
 	}
 }

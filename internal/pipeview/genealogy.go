@@ -1,0 +1,118 @@
+package pipeview
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vanguard/internal/attr"
+	"vanguard/internal/trace"
+)
+
+// Squash genealogy: group every flush with its provoking event and count
+// what it killed. The cause split is the paper's repair-locality argument
+// in one table — a baseline BR misprediction flushes the whole wrong path
+// fetched since the branch, while a vanguard RESOLVE firing repairs from
+// the resolution point with the PREDICT's work already retired — and the
+// optional attribution join prices each branch's flushes in issue slots.
+
+// genealogyGroup aggregates the flushes of one (cause, branch) pair.
+type genealogyGroup struct {
+	cause   string
+	branch  int
+	flushes int64
+	killed  int64
+	resFire bool
+}
+
+// WriteGenealogy renders the squash-genealogy table. at may be nil; when
+// it carries the run's attribution report, each branch row is joined with
+// the issue slots attribution charged to that branch's mispredictions.
+func WriteGenealogy(w io.Writer, rep *trace.PipeviewReport, at *attr.Report) {
+	fmt.Fprintf(w, "squash genealogy: %d flush(es)", len(rep.Flushes))
+	if rep.FlushesDropped > 0 {
+		fmt.Fprintf(w, " (+%d beyond capture bound)", rep.FlushesDropped)
+	}
+	fmt.Fprintln(w)
+	if len(rep.Flushes) == 0 {
+		fmt.Fprintln(w, "  (no flushes captured)")
+		return
+	}
+
+	groups := map[[2]int]*genealogyGroup{}
+	causeIdx := map[string]int{}
+	var totalKilled int64
+	for i := range rep.Flushes {
+		f := &rep.Flushes[i]
+		ci, ok := causeIdx[f.Cause]
+		if !ok {
+			ci = len(causeIdx)
+			causeIdx[f.Cause] = ci
+		}
+		key := [2]int{ci, f.Branch}
+		g := groups[key]
+		if g == nil {
+			g = &genealogyGroup{cause: f.Cause, branch: f.Branch, resFire: f.ResolveFire}
+			groups[key] = g
+		}
+		g.flushes++
+		g.killed += f.Killed
+		totalKilled += f.Killed
+	}
+	rows := make([]*genealogyGroup, 0, len(groups))
+	for _, g := range groups {
+		rows = append(rows, g)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].killed != rows[j].killed {
+			return rows[i].killed > rows[j].killed
+		}
+		if rows[i].cause != rows[j].cause {
+			return rows[i].cause < rows[j].cause
+		}
+		return rows[i].branch < rows[j].branch
+	})
+
+	withAttr := at != nil
+	fmt.Fprintf(w, "  %-10s %7s %8s %8s %10s", "cause", "branch", "flushes", "killed", "kill/flush")
+	if withAttr {
+		fmt.Fprintf(w, " %11s", "attr-slots")
+	}
+	fmt.Fprintln(w)
+	for _, g := range rows {
+		branch := "-"
+		if g.branch > 0 {
+			branch = fmt.Sprintf("%d", g.branch)
+		}
+		fmt.Fprintf(w, "  %-10s %7s %8d %8d %10.1f", g.cause, branch, g.flushes, g.killed,
+			float64(g.killed)/float64(g.flushes))
+		if withAttr {
+			if g.branch > 0 {
+				row := at.Branch(g.branch)
+				fmt.Fprintf(w, " %11d", row.MispredictSlots())
+			} else {
+				fmt.Fprintf(w, " %11s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  total: %d instruction(s) killed across %d flush(es)\n",
+		totalKilled, len(rep.Flushes))
+
+	// The repair-locality punchline, when both repair styles appear.
+	var brFlushes, brKilled, resFlushes, resKilled int64
+	for _, g := range rows {
+		switch g.cause {
+		case "branch":
+			brFlushes += g.flushes
+			brKilled += g.killed
+		case "resolve":
+			resFlushes += g.flushes
+			resKilled += g.killed
+		}
+	}
+	if brFlushes > 0 && resFlushes > 0 {
+		fmt.Fprintf(w, "  resolve-fire repair kills %.1f instr/flush vs %.1f for full branch flushes\n",
+			float64(resKilled)/float64(resFlushes), float64(brKilled)/float64(brFlushes))
+	}
+}

@@ -1,0 +1,291 @@
+package pipeview
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vanguard/internal/trace"
+)
+
+// Konata/O3PipeView export: the tab-separated text format the gem5
+// ecosystem's Konata viewer opens directly. One `I` line declares each
+// instruction, `L` lines label it (disassembly plus annotations), `S`
+// lines start pipeline stages, and `R` retires it (type 0) or flushes it
+// (type 1). `C=` sets the base cycle and `C` advances the clock; Konata
+// ends a stage when the next one starts, so stage boundaries are just the
+// record's lifetime cycles.
+//
+// Stage names: F (fetch/front end), Is (issue/execute), Wb (writeback to
+// retire). A record whose writeback lands after its commit point (the
+// in-order model lets a long load's result arrive under the shadow of an
+// already-resolved speculation point) clamps Wb to the terminal so the
+// lane reads left to right.
+
+// konataHeader is the format magic Konata checks.
+const konataHeader = "Kanata\t0004"
+
+// konataEvent is one pending output line at a cycle.
+type konataEvent struct {
+	cycle int64
+	order int // tiebreak: declaration lines before stage lines before retires
+	uid   int
+	text  string
+}
+
+// WriteKonata renders the capture in Konata text format. Records without
+// a fetch cycle cannot be rendered and do not occur (every record opens
+// at fetch).
+func WriteKonata(w io.Writer, rep *trace.PipeviewReport) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, konataHeader)
+	if len(rep.Records) == 0 {
+		return bw.Flush()
+	}
+
+	evs := make([]konataEvent, 0, 6*len(rep.Records))
+	add := func(cycle int64, order, uid int, format string, args ...any) {
+		evs = append(evs, konataEvent{cycle, order, uid, fmt.Sprintf(format, args...)})
+	}
+	for uid := range rep.Records {
+		r := &rep.Records[uid]
+		term := r.Terminal()
+		add(r.Fetch, 0, uid, "I\t%d\t%d\t0", uid, r.Seq)
+		add(r.Fetch, 1, uid, "L\t%d\t0\t%d: %s", uid, r.PC, r.Asm)
+		if note := konataNote(r); note != "" {
+			add(r.Fetch, 2, uid, "L\t%d\t1\t%s", uid, note)
+		}
+		add(r.Fetch, 3, uid, "S\t%d\t0\tF", uid)
+		if r.Issue >= 0 {
+			add(r.Issue, 3, uid, "S\t%d\t0\tIs", uid)
+			if wb := r.Complete; wb > r.Issue && term >= 0 {
+				if wb > term {
+					wb = term
+				}
+				if wb > r.Issue {
+					add(wb, 3, uid, "S\t%d\t0\tWb", uid)
+				}
+			}
+		}
+		if term >= 0 {
+			retire := 0
+			if r.Squash >= 0 {
+				retire = 1
+			}
+			add(term, 4, uid, "R\t%d\t%d\t%d", uid, r.Seq, retire)
+		}
+	}
+	// Stable order: by cycle, then declaration/stage/retire rank, then uid.
+	sort.Sort(byCycle(evs))
+
+	now := evs[0].cycle
+	fmt.Fprintf(bw, "C=\t%d\n", now)
+	for _, ev := range evs {
+		if ev.cycle > now {
+			fmt.Fprintf(bw, "C\t%d\n", ev.cycle-now)
+			now = ev.cycle
+		}
+		fmt.Fprintln(bw, ev.text)
+	}
+	return bw.Flush()
+}
+
+// konataNote renders the record's annotation line: misprediction cause,
+// RESOLVE firing, DBB linkage.
+func konataNote(r *trace.PipeviewRecord) string {
+	var parts []string
+	if r.Mispredict {
+		parts = append(parts, "MISPREDICT cause="+r.Cause)
+	} else if r.Squash >= 0 && r.Cause != "" {
+		parts = append(parts, "squashed by "+r.Cause)
+	}
+	if r.ResolveFire {
+		parts = append(parts, "RESOLVE fired")
+	}
+	if r.DBBPush {
+		parts = append(parts, fmt.Sprintf("dbb-push occ=%d", r.DBBOcc))
+	}
+	if r.DBBPop {
+		parts = append(parts, fmt.Sprintf("dbb-pop occ=%d", r.DBBOcc))
+	}
+	if r.Branch > 0 {
+		parts = append(parts, fmt.Sprintf("branch=%d", r.Branch))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// byCycle orders output lines by cycle, then by declaration/stage/retire
+// rank, then by uid — a total order, so the export is byte-stable.
+type byCycle []konataEvent
+
+func (s byCycle) Len() int      { return len(s) }
+func (s byCycle) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s byCycle) Less(i, j int) bool {
+	if s[i].cycle != s[j].cycle {
+		return s[i].cycle < s[j].cycle
+	}
+	if s[i].order != s[j].order {
+		return s[i].order < s[j].order
+	}
+	if s[i].uid != s[j].uid {
+		return s[i].uid < s[j].uid
+	}
+	return false
+}
+
+// WriteKonataFile writes the capture to path in Konata format.
+func WriteKonataFile(path string, rep *trace.PipeviewReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteKonata(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// KonataInstr is one instruction parsed back out of a Konata file — the
+// round-trip structure the golden-export test validates against the
+// original records.
+type KonataInstr struct {
+	UID    int
+	Seq    int64
+	Label  string
+	Note   string
+	Stages map[string]int64 // stage name -> start cycle
+	Retire int64            // -1 if never retired
+	Flush  bool             // retire type 1
+}
+
+// ParseKonata reads a Konata file back into per-instruction stage/retire
+// cycles. It understands the subset WriteKonata emits (which is also the
+// subset gem5's O3PipeView conversion uses); unknown line types are an
+// error so format drift cannot pass silently.
+func ParseKonata(rd io.Reader) ([]KonataInstr, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("konata: empty input")
+	}
+	if sc.Text() != konataHeader {
+		return nil, fmt.Errorf("konata: bad header %q (want %q)", sc.Text(), konataHeader)
+	}
+
+	byUID := map[int]*KonataInstr{}
+	var order []int
+	now := int64(0)
+	atoi := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+	line := 1
+	for sc.Scan() {
+		line++
+		f := strings.Split(sc.Text(), "\t")
+		if len(f) == 0 || f[0] == "" {
+			continue
+		}
+		get := func(uid int64) *KonataInstr {
+			in := byUID[int(uid)]
+			if in == nil {
+				in = &KonataInstr{UID: int(uid), Stages: map[string]int64{}, Retire: -1}
+				byUID[int(uid)] = in
+				order = append(order, int(uid))
+			}
+			return in
+		}
+		switch f[0] {
+		case "C=":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("konata line %d: malformed C=", line)
+			}
+			v, err := atoi(f[1])
+			if err != nil {
+				return nil, err
+			}
+			now = v
+		case "C":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("konata line %d: malformed C", line)
+			}
+			v, err := atoi(f[1])
+			if err != nil {
+				return nil, err
+			}
+			now += v
+		case "I":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("konata line %d: malformed I", line)
+			}
+			uid, err := atoi(f[1])
+			if err != nil {
+				return nil, err
+			}
+			seq, err := atoi(f[2])
+			if err != nil {
+				return nil, err
+			}
+			get(uid).Seq = seq
+		case "L":
+			if len(f) < 4 {
+				return nil, fmt.Errorf("konata line %d: malformed L", line)
+			}
+			uid, err := atoi(f[1])
+			if err != nil {
+				return nil, err
+			}
+			text := strings.Join(f[3:], "\t")
+			if f[2] == "0" {
+				get(uid).Label = text
+			} else {
+				get(uid).Note = text
+			}
+		case "S":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("konata line %d: malformed S", line)
+			}
+			uid, err := atoi(f[1])
+			if err != nil {
+				return nil, err
+			}
+			in := get(uid)
+			if _, dup := in.Stages[f[3]]; dup {
+				return nil, fmt.Errorf("konata line %d: stage %s started twice for uid %d", line, f[3], in.UID)
+			}
+			in.Stages[f[3]] = now
+		case "E":
+			// Stage ends are implicit in WriteKonata's output; accept and
+			// ignore explicit ones for compatibility.
+			if len(f) != 4 {
+				return nil, fmt.Errorf("konata line %d: malformed E", line)
+			}
+		case "R":
+			if len(f) != 4 {
+				return nil, fmt.Errorf("konata line %d: malformed R", line)
+			}
+			uid, err := atoi(f[1])
+			if err != nil {
+				return nil, err
+			}
+			in := get(uid)
+			if in.Retire >= 0 {
+				return nil, fmt.Errorf("konata line %d: uid %d retired twice", line, in.UID)
+			}
+			in.Retire = now
+			in.Flush = f[3] == "1"
+		default:
+			return nil, fmt.Errorf("konata line %d: unknown record type %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]KonataInstr, 0, len(order))
+	for _, uid := range order {
+		out = append(out, *byUID[uid])
+	}
+	return out, nil
+}

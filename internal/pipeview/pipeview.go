@@ -1,0 +1,415 @@
+// Package pipeview assembles the pipeline's per-event telemetry stream
+// into per-instruction lifetime records — the pipeline waterfall viewer.
+// A Recorder is a trace.Sink: attach it (pipeline.Config.Pipeview does
+// this) and every dynamic instruction fetched inside the capture window
+// accumulates its fetch, issue, writeback and commit/squash/drop cycles,
+// annotated with misprediction causes, BranchIDs and PREDICT/RESOLVE/DBB
+// linkage. Alongside the records it keeps a squash genealogy: one row per
+// flush with its provoking speculation point and kill count.
+//
+// All hot-path storage is preallocated (a Seq-indexed record ring and a
+// bounded flush list), so an attached recorder keeps the simulator's
+// steady-state zero-alloc property; captures are windowed (explicit cycle
+// range, around the Nth squash, or one burst per recurring window) so the
+// viewer stays usable on 100M-cycle runs. Export goes three ways: Konata
+// text for the gem5-ecosystem viewer (konata.go), an ASCII waterfall
+// (textplot.Waterfall), and the genealogy report (genealogy.go).
+package pipeview
+
+import (
+	"sort"
+
+	"vanguard/internal/isa"
+	"vanguard/internal/trace"
+)
+
+// Capture-mode defaults.
+const (
+	// DefaultRecords sizes the record ring: at the fast suite's flush
+	// rates this holds several complete squash shadows.
+	DefaultRecords = 4096
+	// DefaultFlushes bounds the squash-genealogy list.
+	DefaultFlushes = 1024
+	// DefaultRadius is the half-width, in cycles, of an around-the-Nth-
+	// squash capture.
+	DefaultRadius = 200
+	// DefaultBurst is the length, in cycles, of each recurring-window
+	// capture burst.
+	DefaultBurst = 256
+)
+
+// Config selects what the recorder captures. The zero value captures the
+// whole run into the default-sized ring (oldest terminated records are
+// overwritten — the post-mortem mode). Exactly one windowing mode
+// applies, in precedence order: AroundSquash, then From/To, then
+// EveryWindow.
+type Config struct {
+	// From/To capture instructions fetched in cycles [From, To) (To <= 0
+	// means unbounded).
+	From int64 `json:"from,omitempty"`
+	To   int64 `json:"to,omitempty"`
+	// AroundSquash captures a window of AroundRadius cycles on each side
+	// of the Nth squash event (1-based; 0 disables the mode). Recording
+	// runs continuously until the trigger, so the "before" half is
+	// already in the ring when it fires.
+	AroundSquash int   `json:"around_squash,omitempty"`
+	AroundRadius int64 `json:"around_radius,omitempty"`
+	// EveryWindow captures one Burst-cycle burst at the start of every
+	// EveryWindow cycles — the sampling-style mode that pairs with
+	// internal/sample windows (set EveryWindow to the sample window).
+	EveryWindow int64 `json:"every_window,omitempty"`
+	Burst       int64 `json:"burst,omitempty"`
+	// MaxRecords/MaxFlushes bound the preallocated storage
+	// (DefaultRecords/DefaultFlushes when <= 0).
+	MaxRecords int `json:"max_records,omitempty"`
+	MaxFlushes int `json:"max_flushes,omitempty"`
+}
+
+// DefaultConfig returns a whole-run capture with default bounds.
+func DefaultConfig() Config { return Config{} }
+
+// rec is the hot-path form of one lifetime record; Report() renders it
+// into the serializable trace.PipeviewRecord (disassembly included) once,
+// after the run.
+type rec struct {
+	seq      int64 // -1 = empty slot
+	fetch    int64
+	issue    int64
+	complete int64
+	commit   int64
+	squash   int64
+	drop     int64
+	ins      isa.Instr
+	pc       int
+	dbbOcc   int32
+	cause    trace.Cause
+	misp     bool
+	resFire  bool
+	dbbPush  bool
+	dbbPop   bool
+}
+
+// open reports whether the record has no terminal stage yet.
+func (r *rec) open() bool { return r.commit < 0 && r.squash < 0 && r.drop < 0 }
+
+// Recorder assembles lifetime records from the event stream. It
+// implements trace.Sink; Emit never allocates. One recorder belongs to
+// one machine (not safe for concurrent use).
+type Recorder struct {
+	cfg    Config
+	radius int64
+	burst  int64
+
+	// ring is indexed by seq % len(ring); a slot is valid for seq s only
+	// while slot.seq == s. minOpen is the resolution frontier: every seq
+	// below it is terminal (or was never recorded), so the commit/squash
+	// sweeps walk [minOpen, S] and each seq is visited O(1) times over
+	// the whole run.
+	ring    []rec
+	minOpen int64
+	maxSeq  int64
+	nOpen   int64 // live open records (skip sweeps when zero)
+	dropped int64 // open records overwritten before terminating
+
+	flushes     []trace.PipeviewFlush
+	flushDrops  int64
+	lastMispSeq int64 // join KindMispredict metadata onto the next squash
+	lastMispIns isa.Instr
+
+	// Around-squash trigger state.
+	squashes  int
+	trigCycle int64
+	stopAt    int64
+
+	lastCycle int64
+}
+
+// NewRecorder builds a recorder with all capture storage preallocated.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = DefaultRecords
+	}
+	if cfg.MaxFlushes <= 0 {
+		cfg.MaxFlushes = DefaultFlushes
+	}
+	r := &Recorder{
+		cfg:         cfg,
+		radius:      cfg.AroundRadius,
+		burst:       cfg.Burst,
+		ring:        make([]rec, cfg.MaxRecords),
+		flushes:     make([]trace.PipeviewFlush, 0, cfg.MaxFlushes),
+		minOpen:     0,
+		maxSeq:      -1,
+		trigCycle:   -1,
+		stopAt:      -1,
+		lastMispSeq: -1,
+	}
+	if r.radius <= 0 {
+		r.radius = DefaultRadius
+	}
+	if r.burst <= 0 {
+		r.burst = DefaultBurst
+	}
+	for i := range r.ring {
+		r.ring[i].seq = -1
+	}
+	return r
+}
+
+// active reports whether instructions fetched at cycle c should open a
+// capture record. Stage updates and terminals always apply to records
+// that already exist, so a record opened late in a window still gets its
+// full lifetime.
+func (r *Recorder) active(c int64) bool {
+	switch {
+	case r.cfg.AroundSquash > 0:
+		return r.stopAt < 0 || c <= r.stopAt
+	case r.cfg.From > 0 || r.cfg.To > 0:
+		return c >= r.cfg.From && (r.cfg.To <= 0 || c < r.cfg.To)
+	case r.cfg.EveryWindow > 0:
+		return c%r.cfg.EveryWindow < r.burst
+	}
+	return true
+}
+
+// lookup returns the live record for seq, or nil.
+func (r *Recorder) lookup(seq int64) *rec {
+	if seq < 0 {
+		return nil
+	}
+	s := &r.ring[int(seq%int64(len(r.ring)))]
+	if s.seq != seq {
+		return nil
+	}
+	return s
+}
+
+// Emit implements trace.Sink. Allocation-free by construction: every
+// path indexes preallocated storage or bumps counters.
+func (r *Recorder) Emit(ev trace.Event) {
+	r.lastCycle = ev.Cycle
+	switch ev.Kind {
+	case trace.KindFetch:
+		if !r.active(ev.Cycle) {
+			return
+		}
+		s := &r.ring[int(ev.Seq%int64(len(r.ring)))]
+		if s.seq >= 0 && s.open() {
+			r.dropped++
+			r.nOpen--
+		}
+		*s = rec{
+			seq: ev.Seq, pc: ev.PC, ins: ev.Ins, fetch: ev.Cycle,
+			issue: -1, complete: -1, commit: -1, squash: -1, drop: -1,
+		}
+		r.nOpen++
+		if ev.Seq > r.maxSeq {
+			r.maxSeq = ev.Seq
+		}
+	case trace.KindIssue:
+		if s := r.lookup(ev.Seq); s != nil {
+			s.issue = ev.Cycle
+		}
+	case trace.KindComplete:
+		if s := r.lookup(ev.Seq); s != nil {
+			s.complete = ev.Val
+		}
+	case trace.KindDBBPush:
+		// A PREDICT consumed by the front end: steering fetch is its whole
+		// execution, so the push doubles as its terminal (Drop). Handler
+		// pushes during exception injection carry Seq -1 and are skipped.
+		if s := r.lookup(ev.Seq); s != nil {
+			s.dbbPush = true
+			s.dbbOcc = int32(ev.Val)
+			if s.open() {
+				s.drop = ev.Cycle
+				r.nOpen--
+			}
+		}
+	case trace.KindDBBPop:
+		if s := r.lookup(ev.Seq); s != nil {
+			s.dbbPop = true
+			s.dbbOcc = int32(ev.Val)
+		}
+	case trace.KindMispredict:
+		r.lastMispSeq, r.lastMispIns = ev.Seq, ev.Ins
+		if s := r.lookup(ev.Seq); s != nil {
+			s.misp = true
+			s.cause = ev.Cause
+		}
+	case trace.KindResolveFire:
+		if s := r.lookup(ev.Seq); s != nil {
+			s.resFire = true
+		}
+	case trace.KindCommit:
+		r.commitThrough(ev.Seq, ev.Cycle)
+	case trace.KindSquash:
+		r.onSquash(ev)
+	}
+}
+
+// commitThrough marks every open record with seq <= S as committed at
+// cycle c. Issue is in order and S resolved cleanly, so everything at or
+// below S is no longer covered by speculation — that is this machine's
+// commit point. minOpen makes the sweep amortized O(1) per instruction.
+func (r *Recorder) commitThrough(S, c int64) {
+	if S < r.minOpen {
+		return
+	}
+	if r.nOpen > 0 {
+		for q := r.minOpen; q <= S; q++ {
+			if s := r.lookup(q); s != nil && s.open() {
+				s.commit = c
+				r.nOpen--
+			}
+		}
+	}
+	r.minOpen = S + 1
+}
+
+// onSquash handles both flush squashes (everything younger than the
+// mispredicting speculation point S dies, S itself and everything older
+// commits) and exception squashes (CauseException: a quiet-point fetch-
+// buffer clear, so every fetched-but-unissued record from S up dies).
+func (r *Recorder) onSquash(ev trace.Event) {
+	r.squashes++
+	if n := r.cfg.AroundSquash; n > 0 && r.trigCycle < 0 && r.squashes >= n {
+		r.trigCycle = ev.Cycle
+		r.stopAt = ev.Cycle + r.radius
+	}
+
+	cause := ev.Cause
+	if cause == trace.CauseNone {
+		cause = trace.CauseBranch
+	}
+	flush := trace.PipeviewFlush{
+		Cycle:  ev.Cycle,
+		Seq:    ev.Seq,
+		PC:     ev.PC,
+		Cause:  cause.String(),
+		Killed: ev.Val,
+	}
+
+	if ev.Cause == trace.CauseException {
+		// No provoking branch; the issued prefix is already safe (the
+		// machine only injects at infLen() == 0), so commit it and squash
+		// the unissued fetch-buffer tail, which starts at ev.Seq.
+		if r.nOpen > 0 {
+			for q := r.minOpen; q <= r.maxSeq; q++ {
+				s := r.lookup(q)
+				if s == nil || !s.open() {
+					continue
+				}
+				if s.issue >= 0 && q < ev.Seq {
+					s.commit = ev.Cycle
+				} else {
+					s.squash = ev.Cycle
+					s.cause = trace.CauseException
+				}
+				r.nOpen--
+			}
+		}
+		r.minOpen = r.maxSeq + 1
+	} else {
+		// Flush: the mispredicting speculation point (seq S) itself
+		// commits, so the KindMispredict that preceded this event carries
+		// its identity; join it onto the genealogy row.
+		if r.lastMispSeq == ev.Seq {
+			flush.Branch = r.lastMispIns.BranchID
+			flush.ResolveFire = r.lastMispIns.Op == isa.RESOLVE
+		}
+		r.commitThrough(ev.Seq, ev.Cycle)
+		if r.nOpen > 0 {
+			for q := r.minOpen; q <= r.maxSeq; q++ {
+				if s := r.lookup(q); s != nil && s.open() {
+					s.squash = ev.Cycle
+					s.cause = cause
+					r.nOpen--
+				}
+			}
+		}
+		r.minOpen = r.maxSeq + 1
+	}
+
+	if len(r.flushes) < cap(r.flushes) {
+		r.flushes = append(r.flushes, flush)
+	} else {
+		r.flushDrops++
+	}
+}
+
+// Close implements trace.Sink.
+func (r *Recorder) Close() error { return nil }
+
+// Finalize settles records still open when the run ended. With
+// allResolved (no unresolved speculation — the clean-halt and
+// instruction-cap cases) every open issued record is committed as of the
+// final cycle; otherwise they stay open, honestly truncated.
+func (r *Recorder) Finalize(now int64, allResolved bool) {
+	if !allResolved || r.nOpen == 0 {
+		return
+	}
+	for q := r.minOpen; q <= r.maxSeq; q++ {
+		if s := r.lookup(q); s != nil && s.open() && s.issue >= 0 {
+			s.commit = now
+			r.nOpen--
+		}
+	}
+	r.minOpen = r.maxSeq + 1
+}
+
+// Report freezes the capture into its serializable form: records sorted
+// by Seq (disassembly rendered here, off the hot path), the genealogy,
+// and the observed capture bounds. Around-squash captures are trimmed to
+// the configured radius about the trigger.
+func (r *Recorder) Report() *trace.PipeviewReport {
+	rep := &trace.PipeviewReport{
+		Trigger:        "all",
+		TriggerCycle:   r.trigCycle,
+		From:           -1,
+		To:             -1,
+		Flushes:        append([]trace.PipeviewFlush(nil), r.flushes...),
+		RecordsDropped: r.dropped,
+		FlushesDropped: r.flushDrops,
+	}
+	switch {
+	case r.cfg.AroundSquash > 0:
+		rep.Trigger = "around-squash"
+	case r.cfg.From > 0 || r.cfg.To > 0:
+		rep.Trigger = "range"
+	case r.cfg.EveryWindow > 0:
+		rep.Trigger = "window"
+	}
+	lo := int64(-1)
+	if rep.Trigger == "around-squash" && r.trigCycle >= 0 {
+		lo = r.trigCycle - r.radius
+	}
+	for i := range r.ring {
+		s := &r.ring[i]
+		if s.seq < 0 || s.fetch < lo {
+			continue
+		}
+		pr := trace.PipeviewRecord{
+			Seq: s.seq, PC: s.pc, Asm: s.ins.String(), Branch: s.ins.BranchID,
+			Fetch: s.fetch, Issue: s.issue, Complete: s.complete,
+			Commit: s.commit, Squash: s.squash, Drop: s.drop,
+			Cause:       s.cause.String(),
+			Mispredict:  s.misp,
+			ResolveFire: s.resFire,
+			DBBPush:     s.dbbPush,
+			DBBPop:      s.dbbPop,
+			DBBOcc:      int(s.dbbOcc),
+		}
+		if rep.From < 0 || s.fetch < rep.From {
+			rep.From = s.fetch
+		}
+		for _, c := range [4]int64{s.fetch, s.issue, s.complete, pr.Terminal()} {
+			if c > rep.To {
+				rep.To = c
+			}
+		}
+		rep.Records = append(rep.Records, pr)
+	}
+	sort.Slice(rep.Records, func(i, j int) bool { return rep.Records[i].Seq < rep.Records[j].Seq })
+	return rep
+}

@@ -1,0 +1,294 @@
+package pipeview
+
+import (
+	"strings"
+	"testing"
+
+	"vanguard/internal/attr"
+	"vanguard/internal/isa"
+	"vanguard/internal/trace"
+)
+
+// feed is a synthetic event-stream builder for recorder unit tests.
+type feed struct{ r *Recorder }
+
+func (f feed) fetch(cycle, seq int64, pc int, ins isa.Instr) {
+	f.r.Emit(trace.Event{Kind: trace.KindFetch, Cycle: cycle, Seq: seq, PC: pc, Ins: ins})
+}
+func (f feed) issue(cycle, seq int64) {
+	f.r.Emit(trace.Event{Kind: trace.KindIssue, Cycle: cycle, Seq: seq})
+}
+func (f feed) complete(cycle, seq, at int64) {
+	f.r.Emit(trace.Event{Kind: trace.KindComplete, Cycle: cycle, Seq: seq, Val: at})
+}
+func (f feed) commit(cycle, seq int64) {
+	f.r.Emit(trace.Event{Kind: trace.KindCommit, Cycle: cycle, Seq: seq})
+}
+
+// TestRecorderLifetimes covers the basic assembly: fetch/issue/writeback
+// stages land on the right records, a clean resolution commits everything
+// at or below it, and a flush squashes everything above the speculation
+// point while joining the provoking mispredict onto the genealogy row.
+func TestRecorderLifetimes(t *testing.T) {
+	r := NewRecorder(Config{})
+	f := feed{r}
+	br := isa.Instr{Op: isa.BR, Target: 9, BranchID: 7}
+
+	f.fetch(10, 0, 100, isa.Instr{Op: isa.ADDI})
+	f.fetch(10, 1, 101, br)
+	f.fetch(11, 2, 102, isa.Instr{Op: isa.MUL}) // wrong path
+	f.issue(14, 0)
+	f.complete(14, 0, 15)
+	f.issue(15, 1)
+	f.complete(15, 1, 16)
+	// Seq 1 mispredicts: seq 2 dies, seqs 0 and 1 commit.
+	r.Emit(trace.Event{Kind: trace.KindMispredict, Cause: trace.CauseBranch, Cycle: 16, Seq: 1, PC: 101, Ins: br})
+	r.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseBranch, Cycle: 16, Seq: 1, PC: 101, Val: 1})
+
+	rep := r.Report()
+	if len(rep.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(rep.Records))
+	}
+	r0, r1, r2 := rep.Record(0), rep.Record(1), rep.Record(2)
+	if r0 == nil || r0.Fetch != 10 || r0.Issue != 14 || r0.Complete != 15 || r0.Commit != 16 {
+		t.Errorf("seq 0 lifetime wrong: %+v", r0)
+	}
+	if r1 == nil || !r1.Mispredict || r1.Cause != "branch" || r1.Commit != 16 {
+		t.Errorf("seq 1 should commit as a mispredicting branch: %+v", r1)
+	}
+	if r2 == nil || r2.Squash != 16 || r2.Cause != "branch" || r2.Issue >= 0 {
+		t.Errorf("seq 2 should die unissued at the flush: %+v", r2)
+	}
+	if len(rep.Flushes) != 1 {
+		t.Fatalf("got %d flushes, want 1", len(rep.Flushes))
+	}
+	fl := rep.Flushes[0]
+	if fl.Branch != 7 || fl.ResolveFire || fl.Killed != 1 || fl.Cause != "branch" || fl.Seq != 1 {
+		t.Errorf("genealogy row wrong: %+v", fl)
+	}
+	if rep.From != 10 || rep.To != 16 {
+		t.Errorf("observed bounds [%d, %d], want [10, 16]", rep.From, rep.To)
+	}
+}
+
+// TestRecorderPredictDrop pins the PREDICT terminal: the front end
+// consumes it at its DBB push, so the push cycle doubles as a Drop
+// terminal and the record never looks truncated.
+func TestRecorderPredictDrop(t *testing.T) {
+	r := NewRecorder(Config{})
+	f := feed{r}
+	f.fetch(5, 0, 50, isa.Instr{Op: isa.PREDICT, BranchID: 3})
+	r.Emit(trace.Event{Kind: trace.KindDBBPush, Cycle: 5, Seq: 0, PC: 50, Val: 2})
+	// Handler pushes carry Seq -1 and must not crash or create records.
+	r.Emit(trace.Event{Kind: trace.KindDBBPush, Cycle: 6, Seq: -1, Val: 3})
+
+	rep := r.Report()
+	if len(rep.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(rep.Records))
+	}
+	p := rep.Record(0)
+	if p.Drop != 5 || !p.DBBPush || p.DBBOcc != 2 || p.Terminal() != 5 {
+		t.Errorf("PREDICT record wrong: %+v", p)
+	}
+}
+
+// TestRecorderResolveFireJoin pins the vanguard repair genealogy: a
+// RESOLVE firing is joined onto its flush row with ResolveFire set, which
+// is what lets the genealogy report contrast repair styles.
+func TestRecorderResolveFireJoin(t *testing.T) {
+	r := NewRecorder(Config{})
+	f := feed{r}
+	res := isa.Instr{Op: isa.RESOLVE, Target: 4, BranchID: 9}
+	f.fetch(1, 0, 10, res)
+	f.fetch(1, 1, 11, isa.Instr{Op: isa.ADD})
+	f.issue(6, 0)
+	f.complete(6, 0, 7)
+	r.Emit(trace.Event{Kind: trace.KindResolveFire, Cycle: 7, Seq: 0, PC: 10})
+	r.Emit(trace.Event{Kind: trace.KindMispredict, Cause: trace.CauseResolve, Cycle: 7, Seq: 0, PC: 10, Ins: res})
+	r.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseResolve, Cycle: 7, Seq: 0, PC: 10, Val: 1})
+
+	rep := r.Report()
+	if fl := rep.Flushes[0]; !fl.ResolveFire || fl.Branch != 9 || fl.Cause != "resolve" {
+		t.Errorf("resolve-fire flush row wrong: %+v", fl)
+	}
+	if rec := rep.Record(0); !rec.ResolveFire || !rec.Mispredict {
+		t.Errorf("resolve record wrong: %+v", rec)
+	}
+}
+
+// TestRecorderCaptureRange pins the From/To windowing: only instructions
+// fetched inside [From, To) open records, but stage updates still land on
+// records opened inside the window.
+func TestRecorderCaptureRange(t *testing.T) {
+	r := NewRecorder(Config{From: 100, To: 200})
+	f := feed{r}
+	f.fetch(50, 0, 1, isa.Instr{Op: isa.ADD})  // before the window
+	f.fetch(150, 1, 2, isa.Instr{Op: isa.ADD}) // inside
+	f.fetch(250, 2, 3, isa.Instr{Op: isa.ADD}) // after
+	f.issue(260, 1)                            // update applies even past To
+	f.complete(260, 1, 261)
+	f.commit(262, 2)
+
+	rep := r.Report()
+	if rep.Trigger != "range" {
+		t.Errorf("trigger %q, want range", rep.Trigger)
+	}
+	if len(rep.Records) != 1 || rep.Records[0].Seq != 1 {
+		t.Fatalf("want only seq 1 captured, got %+v", rep.Records)
+	}
+	if got := rep.Records[0]; got.Issue != 260 || got.Commit != 262 {
+		t.Errorf("late-window updates lost: %+v", got)
+	}
+}
+
+// TestRecorderCaptureAroundSquash pins the trigger mode: recording runs
+// until radius cycles past the Nth squash, and the report trims to the
+// radius window about the trigger.
+func TestRecorderCaptureAroundSquash(t *testing.T) {
+	r := NewRecorder(Config{AroundSquash: 2, AroundRadius: 10})
+	f := feed{r}
+	ins := isa.Instr{Op: isa.ADD}
+	f.fetch(1, 0, 1, ins) // far before the trigger: trimmed from the report
+	r.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseBranch, Cycle: 40, Seq: 0, Val: 0})
+	f.fetch(95, 1, 2, ins) // within radius of the second squash
+	r.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseBranch, Cycle: 100, Seq: 1, Val: 0})
+	f.fetch(105, 2, 3, ins) // inside the post-trigger half
+	f.fetch(120, 3, 4, ins) // past stopAt: not captured
+
+	rep := r.Report()
+	if rep.Trigger != "around-squash" || rep.TriggerCycle != 100 {
+		t.Fatalf("trigger %q at %d, want around-squash at 100", rep.Trigger, rep.TriggerCycle)
+	}
+	var seqs []int64
+	for _, rec := range rep.Records {
+		seqs = append(seqs, rec.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("captured seqs %v, want [1 2]", seqs)
+	}
+}
+
+// TestRecorderCaptureWindow pins the recurring-burst mode: a record opens
+// only in the first Burst cycles of each EveryWindow-cycle window.
+func TestRecorderCaptureWindow(t *testing.T) {
+	r := NewRecorder(Config{EveryWindow: 100, Burst: 10})
+	f := feed{r}
+	ins := isa.Instr{Op: isa.ADD}
+	f.fetch(5, 0, 1, ins)   // in burst
+	f.fetch(50, 1, 2, ins)  // out
+	f.fetch(105, 2, 3, ins) // in the next window's burst
+	f.fetch(199, 3, 4, ins) // out
+
+	rep := r.Report()
+	if rep.Trigger != "window" {
+		t.Errorf("trigger %q, want window", rep.Trigger)
+	}
+	if len(rep.Records) != 2 || rep.Records[0].Seq != 0 || rep.Records[1].Seq != 2 {
+		t.Errorf("captured %+v, want seqs 0 and 2", rep.Records)
+	}
+}
+
+// TestRecorderBounds pins the overwrite and flush-cap accounting: an open
+// record overwritten by a ring wrap counts as dropped, and flushes beyond
+// the cap count as FlushesDropped instead of growing the list.
+func TestRecorderBounds(t *testing.T) {
+	r := NewRecorder(Config{MaxRecords: 2, MaxFlushes: 1})
+	f := feed{r}
+	ins := isa.Instr{Op: isa.ADD}
+	f.fetch(1, 0, 1, ins)
+	f.fetch(1, 1, 2, ins)
+	f.fetch(2, 2, 3, ins) // wraps onto seq 0, still open
+	r.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseBranch, Cycle: 3, Seq: 0, Val: 0})
+	r.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseBranch, Cycle: 4, Seq: 0, Val: 0})
+
+	rep := r.Report()
+	if rep.RecordsDropped != 1 {
+		t.Errorf("RecordsDropped = %d, want 1", rep.RecordsDropped)
+	}
+	if len(rep.Flushes) != 1 || rep.FlushesDropped != 1 {
+		t.Errorf("flushes %d dropped %d, want 1 and 1", len(rep.Flushes), rep.FlushesDropped)
+	}
+}
+
+// TestRecorderExceptionSquash pins the exception path: the issued prefix
+// below the squash seq commits, the unissued fetch-buffer tail dies with
+// cause exception.
+func TestRecorderExceptionSquash(t *testing.T) {
+	r := NewRecorder(Config{})
+	f := feed{r}
+	ins := isa.Instr{Op: isa.ADD}
+	f.fetch(1, 0, 1, ins)
+	f.fetch(1, 1, 2, ins)
+	f.issue(5, 0)
+	f.complete(5, 0, 6)
+	r.Emit(trace.Event{Kind: trace.KindSquash, Cause: trace.CauseException, Cycle: 7, Seq: 1, Val: 1})
+
+	rep := r.Report()
+	if r0 := rep.Record(0); r0.Commit != 7 || r0.Squash >= 0 {
+		t.Errorf("issued prefix should commit at the exception: %+v", r0)
+	}
+	if r1 := rep.Record(1); r1.Squash != 7 || r1.Cause != "exception" {
+		t.Errorf("unissued tail should die with cause exception: %+v", r1)
+	}
+	if fl := rep.Flushes[0]; fl.Cause != "exception" || fl.Branch != 0 {
+		t.Errorf("exception genealogy row wrong: %+v", fl)
+	}
+}
+
+// TestRecorderFinalize pins end-of-run settlement: with all speculation
+// resolved, open issued records commit at the final cycle; without, they
+// stay honestly truncated.
+func TestRecorderFinalize(t *testing.T) {
+	r := NewRecorder(Config{})
+	f := feed{r}
+	f.fetch(1, 0, 1, isa.Instr{Op: isa.ADD})
+	f.issue(5, 0)
+	f.complete(5, 0, 6)
+	r.Finalize(9, true)
+	if got := r.Report().Record(0); got.Commit != 9 {
+		t.Errorf("finalize should commit the issued record at cycle 9: %+v", got)
+	}
+
+	r2 := NewRecorder(Config{})
+	f2 := feed{r2}
+	f2.fetch(1, 0, 1, isa.Instr{Op: isa.BR})
+	f2.issue(5, 0)
+	r2.Finalize(9, false)
+	if got := r2.Report().Record(0); got.Terminal() >= 0 {
+		t.Errorf("unresolved record should stay open: %+v", got)
+	}
+}
+
+// TestWriteGenealogyReport pins the rendered genealogy: grouping, the
+// kill-per-flush column, the attribution join, and the repair-locality
+// punchline when both repair styles appear.
+func TestWriteGenealogyReport(t *testing.T) {
+	rep := &trace.PipeviewReport{
+		Flushes: []trace.PipeviewFlush{
+			{Cycle: 10, Seq: 1, Cause: "branch", Branch: 1, Killed: 12},
+			{Cycle: 20, Seq: 5, Cause: "branch", Branch: 1, Killed: 8},
+			{Cycle: 30, Seq: 9, Cause: "resolve", Branch: 2, Killed: 2, ResolveFire: true},
+		},
+	}
+	at := attr.NewRecorder(16, 4, 4).Report()
+	var sb strings.Builder
+	WriteGenealogy(&sb, rep, at)
+	out := sb.String()
+	for _, want := range []string{
+		"3 flush(es)",
+		"branch", "resolve",
+		"10.0", // 20 killed / 2 flushes
+		"resolve-fire repair kills 2.0 instr/flush vs 10.0 for full branch flushes",
+		"attr-slots",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("genealogy missing %q:\n%s", want, out)
+		}
+	}
+	// Without attribution the join column disappears.
+	sb.Reset()
+	WriteGenealogy(&sb, rep, nil)
+	if strings.Contains(sb.String(), "attr-slots") {
+		t.Error("attr-slots column rendered without an attribution report")
+	}
+}

@@ -1,0 +1,176 @@
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vanguard/internal/trace"
+)
+
+// Waterfall glyphs, one per lifetime phase; when several phases share a
+// downsampled column the highest-priority one wins (terminal events over
+// in-flight phases over front-end residence).
+const (
+	wfFront    = 'f' // fetched, waiting in the front end
+	wfExec     = '=' // issued, executing
+	wfWait     = '-' // result written back, waiting to commit
+	wfCommit   = 'C'
+	wfSquash   = 'X'
+	wfDrop     = 'D' // PREDICT consumed by the front end
+	wfMispred  = '!' // mispredicting speculation point's resolution cycle
+	wfTruncate = '>' // lifetime still open when the capture ended
+)
+
+// wfPriority ranks glyphs for downsampled columns (higher wins).
+func wfPriority(g byte) int {
+	switch g {
+	case wfSquash, wfMispred:
+		return 5
+	case wfCommit, wfDrop:
+		return 4
+	case wfTruncate:
+		return 3
+	case wfExec:
+		return 2
+	case wfFront:
+		return 1
+	case wfWait:
+		return 1
+	}
+	return 0
+}
+
+// Waterfall renders per-instruction lifetime records as an ASCII pipeline
+// diagram: one row per record, one column per cycle (downsampled when the
+// span exceeds width columns), glyphs f/=/- for front-end, execute and
+// completed phases, C/X/D terminals (commit, squash, front-end drop) and
+// ! on a mispredicting resolution. Output is deterministic and
+// byte-stable for a given report and width.
+func Waterfall(w io.Writer, title string, rep *trace.PipeviewReport, width int) {
+	if width <= 0 {
+		width = 64
+	}
+	fmt.Fprintln(w, title)
+	if rep == nil || len(rep.Records) == 0 {
+		fmt.Fprintln(w, "  (no records captured)")
+		return
+	}
+	span := rep.To - rep.From + 1
+	perCol := (span + int64(width) - 1) / int64(width)
+	if perCol < 1 {
+		perCol = 1
+	}
+	cols := int((span + perCol - 1) / perCol)
+	fmt.Fprintf(w, "  cycles %d..%d (%d per column), %d record(s)\n",
+		rep.From, rep.To, perCol, len(rep.Records))
+
+	col := func(c int64) int {
+		n := int((c - rep.From) / perCol)
+		if n < 0 {
+			n = 0
+		}
+		if n >= cols {
+			n = cols - 1
+		}
+		return n
+	}
+	line := make([]byte, cols)
+	for i := range rep.Records {
+		r := &rep.Records[i]
+		for j := range line {
+			line[j] = ' '
+		}
+		put := func(c int64, g byte) {
+			if c < rep.From || c > rep.To {
+				return
+			}
+			if at := col(c); wfPriority(g) > wfPriority(line[at]) {
+				line[at] = g
+			}
+		}
+		phase := func(from, to int64, g byte) {
+			if from < 0 || to < from {
+				return
+			}
+			for c := from; c <= to; c += perCol {
+				put(c, g)
+			}
+			put(to, g)
+		}
+		term := r.Terminal()
+		endOf := func(next int64) int64 {
+			if next >= 0 {
+				return next - 1
+			}
+			if term >= 0 {
+				return term
+			}
+			return rep.To
+		}
+		phase(r.Fetch, endOf(r.Issue), wfFront)
+		if r.Issue >= 0 {
+			end := endOf(r.Complete)
+			if term >= 0 && end > term {
+				end = term
+			}
+			phase(r.Issue, end, wfExec)
+			if r.Complete >= 0 && term > r.Complete {
+				phase(r.Complete, term, wfWait)
+			}
+		}
+		switch {
+		case r.Squash >= 0:
+			put(r.Squash, wfSquash)
+		case r.Commit >= 0:
+			if r.Mispredict {
+				put(r.Commit, wfMispred)
+			} else {
+				put(r.Commit, wfCommit)
+			}
+		case r.Drop >= 0:
+			put(r.Drop, wfDrop)
+		default:
+			put(rep.To, wfTruncate)
+		}
+
+		row := fmt.Sprintf("  %7d %-22s |%s|", r.Seq, wfTrim(r.Asm, 22),
+			strings.TrimRight(string(line), " "))
+		if note := wfNote(r); note != "" {
+			row += " " + note
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintln(w, "  legend: f=front-end ==executing -=done C=commit X=squash D=predict-drop !=mispredict >=truncated")
+}
+
+// wfNote renders a record's right-margin annotation.
+func wfNote(r *trace.PipeviewRecord) string {
+	var parts []string
+	if r.Mispredict {
+		parts = append(parts, "MISP:"+r.Cause)
+	} else if r.Squash >= 0 && r.Cause != "" {
+		parts = append(parts, "killed:"+r.Cause)
+	}
+	if r.ResolveFire {
+		parts = append(parts, "fire")
+	}
+	if r.DBBPush {
+		parts = append(parts, fmt.Sprintf("dbb+%d", r.DBBOcc))
+	}
+	if r.DBBPop {
+		parts = append(parts, fmt.Sprintf("dbb-%d", r.DBBOcc))
+	}
+	if r.Branch > 0 {
+		parts = append(parts, fmt.Sprintf("b%d", r.Branch))
+	}
+	return strings.Join(parts, " ")
+}
+
+// wfTrim truncates a label to n bytes with an ellipsis marker.
+func wfTrim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-2] + ".."
+}

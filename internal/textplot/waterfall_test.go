@@ -1,0 +1,80 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"vanguard/internal/trace"
+)
+
+func waterfallReport() *trace.PipeviewReport {
+	return &trace.PipeviewReport{
+		Trigger: "all", TriggerCycle: -1, From: 100, To: 130,
+		Records: []trace.PipeviewRecord{
+			{Seq: 40, PC: 6, Asm: "addi r1, r1, 1", Fetch: 100, Issue: 104, Complete: 105, Commit: 110, Squash: -1, Drop: -1},
+			{Seq: 41, PC: 7, Asm: "ld r7, 0(r6)", Fetch: 100, Issue: 105, Complete: 125, Commit: 110, Squash: -1, Drop: -1},
+			{Seq: 42, PC: 8, Asm: "predict @6", Branch: 2, Fetch: 101, Issue: -1, Complete: -1, Commit: -1, Squash: -1, Drop: 101, DBBPush: true, DBBOcc: 1},
+			{Seq: 43, PC: 9, Asm: "br r8, @12", Branch: 1, Fetch: 101, Issue: 106, Complete: 107, Commit: 110, Squash: -1, Drop: -1, Cause: "branch", Mispredict: true},
+			{Seq: 44, PC: 10, Asm: "a-very-long-disassembly-label", Fetch: 102, Issue: 108, Complete: 109, Commit: -1, Squash: 110, Drop: -1, Cause: "branch"},
+			{Seq: 45, PC: 12, Asm: "st r5, 0(r6)", Fetch: 111, Issue: 115, Complete: -1, Commit: -1, Squash: -1, Drop: -1},
+		},
+	}
+}
+
+// wantWaterfall is the pinned rendering at width 31 (one column per
+// cycle for the 31-cycle span): every phase glyph, terminal, the
+// mispredict marker, label truncation and the right-margin annotations.
+const wantWaterfall = `pipeline waterfall
+  cycles 100..130 (1 per column), 6 record(s)
+       40 addi r1, r1, 1         |ffff=-----C|
+       41 ld r7, 0(r6)           |fffff=====C|
+       42 predict @6             | D| dbb+1 b2
+       43 br r8, @12             | fffff=---!| MISP:branch b1
+       44 a-very-long-disassem.. |  ffffff=-X| killed:branch
+       45 st r5, 0(r6)           |           ffff===============>|
+  legend: f=front-end ==executing -=done C=commit X=squash D=predict-drop !=mispredict >=truncated
+`
+
+// TestWaterfallGolden pins the ASCII rendering byte-for-byte: the
+// waterfall is a debugging surface, so its output must be deterministic
+// and stable for a given report and width.
+func TestWaterfallGolden(t *testing.T) {
+	var sb strings.Builder
+	Waterfall(&sb, "pipeline waterfall", waterfallReport(), 31)
+	if got := sb.String(); got != wantWaterfall {
+		t.Errorf("waterfall drifted:\ngot:\n%swant:\n%s", got, wantWaterfall)
+	}
+	// Byte stability across renders.
+	var sb2 strings.Builder
+	Waterfall(&sb2, "pipeline waterfall", waterfallReport(), 31)
+	if sb.String() != sb2.String() {
+		t.Error("two renders of the same report differ")
+	}
+}
+
+// TestWaterfallDownsamples pins the wide-span path: spans beyond the
+// width collapse multiple cycles per column with terminals winning the
+// glyph contest, and the header reports the scale.
+func TestWaterfallDownsamples(t *testing.T) {
+	rep := waterfallReport()
+	var sb strings.Builder
+	Waterfall(&sb, "w", rep, 8)
+	out := sb.String()
+	if !strings.Contains(out, "(4 per column)") {
+		t.Errorf("downsampled header missing scale:\n%s", out)
+	}
+	for _, g := range []string{"C", "X", "D", "!"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("downsampling lost terminal glyph %q:\n%s", g, out)
+		}
+	}
+}
+
+// TestWaterfallEmpty pins the no-capture placeholder.
+func TestWaterfallEmpty(t *testing.T) {
+	var sb strings.Builder
+	Waterfall(&sb, "empty", nil, 40)
+	if !strings.Contains(sb.String(), "(no records captured)") {
+		t.Errorf("missing placeholder:\n%s", sb.String())
+	}
+}

@@ -16,14 +16,17 @@ import (
 //
 // SchemaV2 adds the optional per-run `samples` section (cycle-window
 // time series). SchemaV3 adds the optional per-run `attribution` section
-// (per-cause issue-slot accounting). A report is stamped with the highest
-// version whose section it actually carries, so sampling-off and
-// attribution-off output is bit-identical to v1 and older consumers are
-// unaffected unless they opt in.
+// (per-cause issue-slot accounting). SchemaV4 adds the optional per-run
+// `pipeview` section (per-instruction lifetime records and squash
+// genealogy). A report is stamped with the highest version whose section
+// it actually carries, so sampling-off / attribution-off / pipeview-off
+// output is bit-identical to v1 and older consumers are unaffected unless
+// they opt in.
 const (
 	SchemaV1 = "vanguard-telemetry/v1"
 	SchemaV2 = "vanguard-telemetry/v2"
 	SchemaV3 = "vanguard-telemetry/v3"
+	SchemaV4 = "vanguard-telemetry/v4"
 )
 
 // Schema is the base (v1) schema tag new reports start from.
@@ -118,6 +121,10 @@ type RunReport struct {
 	// when the run attributed cycles (-attr); its presence bumps the
 	// report to v3.
 	Attribution *attr.Report `json:"attribution,omitempty"`
+	// Pipeview is the per-instruction lifetime capture, present only when
+	// the run recorded a pipeline waterfall (-pipeview); its presence
+	// bumps the report to v4.
+	Pipeview *PipeviewReport `json:"pipeview,omitempty"`
 }
 
 // AblationReport is one sweep of a design parameter.
@@ -156,12 +163,26 @@ func (r *Report) attributed() bool {
 	return false
 }
 
+// pipeviewed reports whether any run carries a pipeview section.
+func (r *Report) pipeviewed() bool {
+	for _, b := range r.Benchmarks {
+		for _, run := range b.Runs {
+			if run.Pipeview != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Write renders the report as indented JSON, stamping the highest schema
-// tag whose optional section is present (v3 attribution wins over v2
-// samples; a plain report stays v1).
+// tag whose optional section is present (v4 pipeview over v3 attribution
+// over v2 samples; a plain report stays v1).
 func (r *Report) Write(w io.Writer) error {
 	if r.Schema == SchemaV1 {
 		switch {
+		case r.pipeviewed():
+			r.Schema = SchemaV4
 		case r.attributed():
 			r.Schema = SchemaV3
 		case r.sampled():
@@ -192,7 +213,7 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, err
 	}
-	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 {
+	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 && r.Schema != SchemaV4 {
 		return nil, &SchemaError{Got: r.Schema}
 	}
 	return &r, nil
@@ -202,5 +223,5 @@ func ReadReport(rd io.Reader) (*Report, error) {
 type SchemaError struct{ Got string }
 
 func (e *SchemaError) Error() string {
-	return "trace: report schema " + e.Got + " (want " + SchemaV1 + ", " + SchemaV2 + " or " + SchemaV3 + ")"
+	return "trace: report schema " + e.Got + " (want " + SchemaV1 + ".." + SchemaV4 + ")"
 }

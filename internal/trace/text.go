@@ -50,6 +50,8 @@ func (t *Text) emitVerbose(ev Event) {
 		fmt.Fprintf(t.W, "[%d] cache-miss %s addr=%#x stall=%d\n", ev.Cycle, ev.Cause, ev.Addr, ev.Val)
 	case KindFault:
 		fmt.Fprintf(t.W, "[%d] FAULT seq=%d pc=%d %v addr=%#x\n", ev.Cycle, ev.Seq, ev.PC, ev.Ins, ev.Addr)
+	case KindComplete:
+		fmt.Fprintf(t.W, "[%d] complete seq=%d pc=%d at=%d\n", ev.Cycle, ev.Seq, ev.PC, ev.Val)
 	default:
 		fmt.Fprintf(t.W, "[%d] %s seq=%d pc=%d cause=%s val=%d\n", ev.Cycle, ev.Kind, ev.Seq, ev.PC, ev.Cause, ev.Val)
 	}

@@ -30,12 +30,14 @@ const (
 	KindDBBPop                  // RESOLVE consumed its DBB entry
 	KindCacheMiss               // L1 miss (instruction or data side)
 	KindFault                   // deferred fault reached commit
+	KindComplete                // instruction writeback (result becomes available)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"fetch", "issue", "commit", "squash", "mispredict",
 	"resolve-fire", "dbb-push", "dbb-pop", "cache-miss", "fault",
+	"complete",
 }
 
 // String returns the kind's wire name (used in text and JSON output).
@@ -85,8 +87,9 @@ type Event struct {
 
 	// Val is the kind-specific payload: redirect PC for Mispredict and
 	// ResolveFire, number of squashed instructions for Squash, DBB
-	// occupancy after the operation for DBBPush/Pop, and stall cycles for
-	// CacheMiss.
+	// occupancy after the operation for DBBPush/Pop, stall cycles for
+	// CacheMiss, and the writeback cycle for Complete (the event itself is
+	// emitted at issue, when the scoreboard ready time is known).
 	Val int64
 	// Addr is the memory address for CacheMiss and Fault events.
 	Addr uint64
