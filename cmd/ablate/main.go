@@ -8,11 +8,13 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
 	"vanguard/internal/engine"
 	"vanguard/internal/harness"
+	"vanguard/internal/pipeline"
 )
 
 func main() {
@@ -24,6 +26,7 @@ func main() {
 		attrF    = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation (feeds the monitor's /metrics per-cause counters)")
 		jsonF    = flag.String("json", "", "also write the sweeps as a structured telemetry report to this file")
 		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		lanes    = flag.Int("lanes", 0, fmt.Sprintf("max same-image simulations stepped as one lane group (0 = auto, %d; 1 = scalar); results are byte-identical at any value", pipeline.DefaultLanes))
 		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache  = flag.Bool("no-cache", false, "disable the on-disk run cache")
 		progress = flag.Bool("progress", false, "render a live engine status line on stderr")
@@ -38,6 +41,7 @@ func main() {
 	}
 	es := &harness.EngineStats{}
 	o.Jobs = *jobs
+	o.Lanes = *lanes
 	o.EngineStats = es
 	o.Attr = *attrF
 	if !*noCache && *cacheDir != "" {

@@ -13,6 +13,11 @@
 // and a renamed benchmark should update the baseline, not silently pass —
 // only a benchmark measured on both sides can regress.
 //
+// A baseline file that is missing or has no sim-MIPS lines skips the
+// comparison with an explicit note (exit 0, but no "ok" verdict), so a
+// fresh checkout can run the gate without pretending it measured
+// anything. A broken new-side file is always an error.
+//
 // With -json (and one input file), benchdiff instead appends a labelled
 // entry — per-benchmark mean sim-MIPS and allocs/op — to a trajectory
 // file, so `make bench-json` can accumulate a perf history across
@@ -154,6 +159,40 @@ func compare(w io.Writer, base, cur map[string]*benchSamples, maxRegress float64
 	return failed
 }
 
+// runCompare applies the regression gate between two bench output files
+// and reports whether a comparison actually happened (gated) and whether
+// it failed. A baseline that is missing or contains no sim-MIPS lines is
+// not an error — a fresh checkout or a machine change has nothing to gate
+// against — but it must not masquerade as a clean pass either: the gate
+// prints an explicit note that the comparison was skipped and how to seed
+// the baseline, and the caller suppresses the "ok" verdict. A missing or
+// empty new-side file is always an error: that is the run under test.
+func runCompare(w io.Writer, basePath, curPath string, maxRegress float64) (gated, failed bool, err error) {
+	cur, err := parseBench(curPath)
+	if err != nil {
+		return false, false, err
+	}
+	if len(cur) == 0 {
+		return false, false, fmt.Errorf("%s: no sim-MIPS benchmark lines found", curPath)
+	}
+	base, err := parseBench(basePath)
+	skip := ""
+	switch {
+	case err != nil && os.IsNotExist(err):
+		skip = "not found"
+	case err != nil:
+		return false, false, err
+	case len(base) == 0:
+		skip = "has no sim-MIPS benchmark lines"
+	}
+	if skip != "" {
+		fmt.Fprintf(w, "note: baseline %s %s — comparison SKIPPED, nothing was gated.\n", basePath, skip)
+		fmt.Fprintf(w, "note: seed it with `make bench` (go test -bench Sim -count 5 -run '^$' . > %s).\n", basePath)
+		return false, false, nil
+	}
+	return true, compare(w, base, cur, maxRegress), nil
+}
+
 // Trajectory file shapes (results/bench_trajectory.json).
 const trajectorySchema = "vanguard-bench-trajectory/v1"
 
@@ -249,23 +288,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress pct] baseline.txt new.txt")
 		os.Exit(2)
 	}
-	base, err := parseBench(flag.Arg(0))
+	gated, failed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cur, err := parseBench(flag.Arg(1))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(base) == 0 {
-		log.Fatalf("%s: no sim-MIPS benchmark lines found", flag.Arg(0))
-	}
-	if len(cur) == 0 {
-		log.Fatalf("%s: no sim-MIPS benchmark lines found", flag.Arg(1))
-	}
-
-	if compare(os.Stdout, base, cur, *maxRegress) {
+	if failed {
 		log.Fatalf("sim-MIPS regression beyond %.0f%% tolerance", *maxRegress)
 	}
-	fmt.Printf("ok: no benchmark regressed more than %.0f%%\n", *maxRegress)
+	if gated {
+		fmt.Printf("ok: no benchmark regressed more than %.0f%%\n", *maxRegress)
+	}
 }

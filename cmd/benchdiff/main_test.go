@@ -108,6 +108,91 @@ PASS
 	}
 }
 
+// writeBench drops bench-output text into a temp file.
+func writeBench(t *testing.T, name, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchText = "BenchmarkSimW4-8 10 104042625 ns/op 12.50 sim-MIPS\nPASS\n"
+
+// TestRunCompareMissingBaseline pins the skip contract: a missing
+// baseline is not a failure, but it prints an explicit SKIPPED note with
+// the re-seed recipe and reports the run as ungated — never a silent
+// pass.
+func TestRunCompareMissingBaseline(t *testing.T) {
+	cur := writeBench(t, "new.txt", benchText)
+	var sb strings.Builder
+	gated, failed, err := runCompare(&sb, filepath.Join(t.TempDir(), "absent.txt"), cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated || failed {
+		t.Fatalf("gated=%v failed=%v, want false/false", gated, failed)
+	}
+	if out := sb.String(); !strings.Contains(out, "SKIPPED") || !strings.Contains(out, "make bench") {
+		t.Fatalf("note must explain the skip and the re-seed recipe:\n%s", out)
+	}
+}
+
+// TestRunCompareEmptyBaseline: a baseline with no sim-MIPS lines skips
+// the same way a missing one does.
+func TestRunCompareEmptyBaseline(t *testing.T) {
+	base := writeBench(t, "base.txt", "PASS\n")
+	cur := writeBench(t, "new.txt", benchText)
+	var sb strings.Builder
+	gated, failed, err := runCompare(&sb, base, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated || failed {
+		t.Fatalf("gated=%v failed=%v, want false/false", gated, failed)
+	}
+	if !strings.Contains(sb.String(), "SKIPPED") {
+		t.Fatalf("note must explain the skip:\n%s", sb.String())
+	}
+}
+
+// TestRunCompareBrokenNewSideIsError: the new side is the run under
+// test; a missing or metric-free file there must fail loudly.
+func TestRunCompareBrokenNewSideIsError(t *testing.T) {
+	base := writeBench(t, "base.txt", benchText)
+	var sb strings.Builder
+	if _, _, err := runCompare(&sb, base, filepath.Join(t.TempDir(), "absent.txt"), 10); err == nil {
+		t.Fatal("missing new-side file must error")
+	}
+	empty := writeBench(t, "empty.txt", "PASS\n")
+	if _, _, err := runCompare(&sb, base, empty, 10); err == nil {
+		t.Fatal("metric-free new-side file must error")
+	}
+}
+
+// TestRunCompareGates: a real two-sided comparison still gates.
+func TestRunCompareGates(t *testing.T) {
+	base := writeBench(t, "base.txt", "BenchmarkSimW4-8 10 1 ns/op 25.00 sim-MIPS\n")
+	cur := writeBench(t, "new.txt", benchText) // 12.50: a 50% drop
+	var sb strings.Builder
+	gated, failed, err := runCompare(&sb, base, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gated || !failed {
+		t.Fatalf("gated=%v failed=%v, want true/true for a 50%% drop", gated, failed)
+	}
+	sb.Reset()
+	gated, failed, err = runCompare(&sb, base, base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gated || failed {
+		t.Fatalf("gated=%v failed=%v, want true/false for identical runs", gated, failed)
+	}
+}
+
 func TestAppendTrajectory(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "traj.json")
 	cur := map[string]*benchSamples{

@@ -26,6 +26,7 @@ import (
 
 	"vanguard/internal/engine"
 	"vanguard/internal/harness"
+	"vanguard/internal/pipeline"
 	"vanguard/internal/sample"
 	"vanguard/internal/textplot"
 	"vanguard/internal/trace"
@@ -80,6 +81,7 @@ func main() {
 		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation; -json reports gain per-run attribution sections (schema "+trace.SchemaV3+")")
 		pview     = flag.String("pipeview", "", "capture per-instruction pipeline lifetimes on the named benchmark's simulations; -json reports gain per-run pipeview sections (schema "+trace.SchemaV4+")")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		lanes     = flag.Int("lanes", 0, fmt.Sprintf("max same-image simulations stepped as one lane group (0 = auto, %d; 1 = scalar); results are byte-identical at any value", pipeline.DefaultLanes))
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
@@ -112,6 +114,7 @@ func main() {
 	}
 	es := &harness.EngineStats{}
 	o.Jobs = *jobs
+	o.Lanes = *lanes
 	o.EngineStats = es
 	o.SampleWindow = *sampleWin
 	o.Attr = *attrF

@@ -67,6 +67,7 @@ func main() {
 		attrDiff  = flag.Bool("attr-diff", false, "profile, decompose, and simulate the baseline and vanguard binaries with attribution on; print the CPI-stack delta and per-branch recovery table, then exit")
 		attrCSV   = flag.String("attr-csv", "", "with -attr-diff: also write PREFIX.cpistack.csv and PREFIX.branches.csv")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		lanes     = flag.Int("lanes", 0, fmt.Sprintf("max same-image simulations stepped as one lane group (0 = auto, %d; 1 = scalar); vgrun's units are single runs over distinct binaries, so they always take the scalar fallback — the flag exists for parity with spec/ablate", pipeline.DefaultLanes))
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
@@ -166,7 +167,7 @@ func main() {
 	}
 
 	if *attrDiff {
-		runAttrDiff(p, im, gm, src, cache, mon, stopStatus, *width, *maxInstrs, *jobs, *attrCSV)
+		runAttrDiff(p, im, gm, src, cache, mon, stopStatus, *width, *maxInstrs, *jobs, *lanes, *attrCSV)
 		return
 	}
 	// Event tracing needs a live machine, so those runs bypass the cache
@@ -235,7 +236,7 @@ func main() {
 	}
 
 	results, est, err := engine.Run(context.Background(),
-		engine.Config{Jobs: *jobs, Cache: cache, Monitor: mon},
+		engine.Config{Jobs: *jobs, Cache: cache, Monitor: mon, Lanes: *lanes},
 		[]engine.Unit[*pipeline.Stats]{{Label: "timing/" + flag.Arg(0), Key: key, Run: runTiming}})
 	if stopStatus != nil {
 		stopStatus()
@@ -332,7 +333,7 @@ func main() {
 // differential — which causes shrank, and which branches paid off.
 func runAttrDiff(p *ir.Program, baseIm *ir.Image, gm *mem.Memory, src []byte,
 	cache *engine.Cache, mon *engine.Monitor, stopStatus func(),
-	width int, maxInstrs int64, jobs int, csvPrefix string) {
+	width int, maxInstrs int64, jobs, lanes int, csvPrefix string) {
 	prof, err := profile.CollectDefault(baseIm, mem.New(), maxInstrs)
 	if err != nil {
 		log.Fatalf("profile: %v", err)
@@ -365,7 +366,7 @@ func runAttrDiff(p *ir.Program, baseIm *ir.Image, gm *mem.Memory, src []byte,
 		}
 	}
 	results, _, err := engine.Run(context.Background(),
-		engine.Config{Jobs: jobs, Cache: cache, Monitor: mon},
+		engine.Config{Jobs: jobs, Cache: cache, Monitor: mon, Lanes: lanes},
 		[]engine.Unit[*pipeline.Stats]{sim(baseIm, "base"), sim(expIm, "exp")})
 	if stopStatus != nil {
 		stopStatus()

@@ -35,6 +35,15 @@ func (h Hist) Fold(n, w int) uint64 {
 	if n <= 0 || w <= 0 {
 		return 0
 	}
+	// Fast path: with at most one chunk (n <= w) over the low word, the
+	// fold degenerates to masking the low n bits — no per-bit loop. This
+	// covers every stock predictor (histBits <= 64 folded into w >= n).
+	if n <= 64 && w >= n {
+		if n == 64 {
+			return h[0]
+		}
+		return h[0] & (1<<uint(n) - 1)
+	}
 	var bits uint64
 	var acc uint64
 	got := 0

@@ -451,3 +451,44 @@ func TestLadderSpecsFresh(t *testing.T) {
 		}
 	}
 }
+
+// foldRef is the original per-bit chunked-xor fold, kept as the oracle
+// for the masked fast path Fold takes when n <= 64 and w >= n.
+func foldRef(h Hist, n, w int) uint64 {
+	if n <= 0 || w <= 0 {
+		return 0
+	}
+	var bits, acc uint64
+	got := 0
+	for i := 0; i < n; i++ {
+		var b uint64
+		if i < 64 {
+			b = (h[0] >> i) & 1
+		} else if i < 128 {
+			b = (h[1] >> (i - 64)) & 1
+		}
+		bits |= b << got
+		got++
+		if got == w {
+			acc ^= bits
+			bits, got = 0, 0
+		}
+	}
+	acc ^= bits
+	return acc & ((1 << w) - 1)
+}
+
+func TestFoldFastPathMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	widths := []int{1, 5, 15, 16, 17, 32, 63, 64, 65, 100, 128}
+	for trial := 0; trial < 200; trial++ {
+		h := Hist{r.Uint64(), r.Uint64()}
+		for _, n := range widths {
+			for _, w := range widths {
+				if got, want := h.Fold(n, w), foldRef(h, n, w); got != want {
+					t.Fatalf("Fold(%d,%d) on %x = %x, reference %x", n, w, h, got, want)
+				}
+			}
+		}
+	}
+}

@@ -32,6 +32,13 @@ type Unit[T any] struct {
 	// unit error; in-flight units run to completion, but no further units
 	// start.
 	Run func(ctx context.Context) (T, error)
+	// BatchKey, when non-empty, marks the unit as groupable: RunBatched
+	// may hand up to Config.Lanes units sharing a BatchKey to the batch
+	// runner as one task. Units whose results could differ when computed
+	// together must use distinct keys; the run cache stays per-unit (Key)
+	// regardless, so cached scalar and batched results never alias unless
+	// they are equal.
+	BatchKey string
 }
 
 // Config is the execution policy of one engine run.
@@ -46,6 +53,10 @@ type Config struct {
 	// cache hits, failures) for the -progress status line and the
 	// -listen HTTP endpoints. Several Run calls may share one monitor.
 	Monitor *Monitor
+	// Lanes bounds how many same-BatchKey units one RunBatched task may
+	// carry; <= 1 disables batching (every unit runs through its scalar
+	// Run func).
+	Lanes int
 }
 
 // UnitStat records how one unit executed.
@@ -74,12 +85,66 @@ type Stats struct {
 // must not be used. Unit results are independent slots, so the returned
 // slice is identical for any worker count.
 func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, error) {
+	return RunBatched(ctx, cfg, units, nil)
+}
+
+// batchTasks partitions unit indexes into scheduling tasks: batchable
+// units (non-empty BatchKey) coalesce into groups of up to lanes
+// same-key units, everything else is a singleton task. Tasks are emitted
+// in order of their lowest index, and a group flushes as soon as it is
+// full, so the partition is a pure function of the unit list.
+func batchTasks[T any](units []Unit[T], lanes int) [][]int {
+	tasks := make([][]int, 0, len(units))
+	pending := map[string][]int{}
+	var keys []string // flush order for partial groups
+	for i := range units {
+		k := units[i].BatchKey
+		if k == "" || lanes <= 1 {
+			tasks = append(tasks, []int{i})
+			continue
+		}
+		if len(pending[k]) == 0 {
+			keys = append(keys, k)
+		}
+		pending[k] = append(pending[k], i)
+		if len(pending[k]) == lanes {
+			tasks = append(tasks, pending[k])
+			pending[k] = nil
+		}
+	}
+	for _, k := range keys {
+		// keys may repeat when a group refills after flushing full;
+		// clearing the entry makes the trailing flush once-per-key.
+		if len(pending[k]) > 0 {
+			tasks = append(tasks, pending[k])
+			pending[k] = nil
+		}
+	}
+	return tasks
+}
+
+// RunBatched is Run with group scheduling: units sharing a non-empty
+// BatchKey are handed to batchRun in groups of up to cfg.Lanes, as one
+// task on one worker. batchRun receives the unit indexes still needing
+// computation (cache hits are served per-unit before it is called) and
+// must return a result and error slot per index; a failing unit fails
+// the run like a scalar unit failure but does not poison its batch
+// siblings. Cache entries remain strictly per-unit. A singleton group
+// falls back to the unit's scalar Run func, as does every unit when
+// batchRun is nil or cfg.Lanes <= 1.
+func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
+	batchRun func(ctx context.Context, idxs []int) ([]T, []error)) ([]T, Stats, error) {
+	lanes := cfg.Lanes
+	if batchRun == nil {
+		lanes = 1
+	}
+	tasks := batchTasks(units, lanes)
 	jobs := cfg.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if jobs > len(units) {
-		jobs = len(units)
+	if jobs > len(tasks) {
+		jobs = len(tasks)
 	}
 	st := Stats{Jobs: jobs, Units: make([]UnitStat, len(units))}
 	if len(units) == 0 {
@@ -160,6 +225,74 @@ func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, e
 		done(false, false)
 	}
 
+	// runBatch executes one multi-unit task: serve per-unit cache hits,
+	// hand the remainder to batchRun in one call, then attribute results,
+	// errors, and cache writes back to each unit.
+	runBatch := func(idxs []int) {
+		t0 := time.Now()
+		slots := make([]int, len(idxs))
+		for j, i := range idxs {
+			slots[j] = -1
+			if cfg.Monitor != nil {
+				slots[j] = cfg.Monitor.beginUnit(units[i].Label)
+			}
+		}
+		done := func(j, i int, hit, failed bool) {
+			wall := time.Since(t0)
+			st.Units[i] = UnitStat{Label: units[i].Label, Wall: wall, CacheHit: hit}
+			if slots[j] >= 0 {
+				cfg.Monitor.endUnit(slots[j], wall, hit, failed)
+			}
+		}
+		need := make([]int, 0, len(idxs))
+		needSlot := make([]int, 0, len(idxs))
+		for j, i := range idxs {
+			u := &units[i]
+			if cfg.Cache != nil && u.Key != "" {
+				if data, ok := cfg.Cache.Get(u.Key); ok {
+					var v T
+					if err := json.Unmarshal(data, &v); err == nil {
+						results[i] = v
+						mu.Lock()
+						hits++
+						mu.Unlock()
+						done(j, i, true, false)
+						continue
+					}
+				}
+			}
+			need = append(need, i)
+			needSlot = append(needSlot, j)
+		}
+		if len(need) == 0 {
+			return
+		}
+		if ctx.Err() != nil {
+			for j, i := range need {
+				done(needSlot[j], i, false, false)
+			}
+			return
+		}
+		vs, errs := batchRun(ctx, need)
+		for j, i := range need {
+			if errs[j] != nil {
+				fail(i, fmt.Errorf("%s: %w", units[i].Label, errs[j]))
+				done(needSlot[j], i, false, true)
+				continue
+			}
+			results[i] = vs[j]
+			if cfg.Cache != nil && units[i].Key != "" {
+				if data, err := json.Marshal(vs[j]); err == nil {
+					cfg.Cache.Put(units[i].Key, data)
+				}
+				mu.Lock()
+				misses++
+				mu.Unlock()
+			}
+			done(needSlot[j], i, false, false)
+		}
+	}
+
 	start := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -167,15 +300,19 @@ func Run[T any](ctx context.Context, cfg Config, units []Unit[T]) ([]T, Stats, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				runUnit(i)
+			for t := range idx {
+				if len(tasks[t]) == 1 {
+					runUnit(tasks[t][0])
+				} else {
+					runBatch(tasks[t])
+				}
 			}
 		}()
 	}
 feed:
-	for i := range units {
+	for t := range tasks {
 		select {
-		case idx <- i:
+		case idx <- t:
 		case <-ctx.Done():
 			break feed
 		}

@@ -265,3 +265,185 @@ func TestRunContextCancelled(t *testing.T) {
 		t.Log("all units ran despite cancellation (legal but slow)")
 	}
 }
+
+// TestRunBatchedGroups: same-BatchKey units coalesce into batches of at
+// most Lanes, units without a BatchKey stay scalar, and results land in
+// enumeration order either way.
+func TestRunBatchedGroups(t *testing.T) {
+	var units []Unit[int]
+	for i := 0; i < 10; i++ {
+		key := "g1"
+		if i >= 6 {
+			key = "g2"
+		}
+		if i == 9 {
+			key = "" // scalar straggler
+		}
+		units = append(units, Unit[int]{
+			Label:    fmt.Sprintf("u%d", i),
+			BatchKey: key,
+			Run:      func(context.Context) (int, error) { return 100 + i, nil },
+		})
+	}
+	var mu sync.Mutex
+	var batches [][]int
+	batchRun := func(_ context.Context, idxs []int) ([]int, []error) {
+		mu.Lock()
+		batches = append(batches, append([]int(nil), idxs...))
+		mu.Unlock()
+		vs := make([]int, len(idxs))
+		for j, i := range idxs {
+			vs[j] = 100 + i
+		}
+		return vs, make([]error, len(idxs))
+	}
+	res, _, err := RunBatched(context.Background(), Config{Jobs: 2, Lanes: 4}, units, batchRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res {
+		if v != 100+i {
+			t.Fatalf("res[%d] = %d, want %d", i, v, 100+i)
+		}
+	}
+	// g1 = {0..5} chunks to [0 1 2 3] + [4 5]; g2 = {6,7,8} is one batch;
+	// unit 9 is scalar (never passed to batchRun).
+	want := map[string]bool{"[0 1 2 3]": true, "[4 5]": true, "[6 7 8]": true}
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches %v, want 3", len(batches), batches)
+	}
+	for _, b := range batches {
+		if !want[fmt.Sprint(b)] {
+			t.Fatalf("unexpected batch %v (all: %v)", b, batches)
+		}
+	}
+}
+
+// TestRunBatchedPerUnitCache: a batch probes and fills the cache per
+// unit, so a later scalar run over the same keys is served entirely from
+// cache, and a partially cached batch hands batchRun only the misses.
+func TestRunBatchedPerUnitCache(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []Unit[int] {
+		var units []Unit[int]
+		for i := 0; i < 4; i++ {
+			units = append(units, Unit[int]{
+				Label:    fmt.Sprintf("u%d", i),
+				Key:      fmt.Sprintf("key%d", i),
+				BatchKey: "g",
+				Run:      func(context.Context) (int, error) { return 7 * i, nil },
+			})
+		}
+		return units
+	}
+	batchRun := func(_ context.Context, idxs []int) ([]int, []error) {
+		vs := make([]int, len(idxs))
+		for j, i := range idxs {
+			vs[j] = 7 * i
+		}
+		return vs, make([]error, len(idxs))
+	}
+	// Pre-seed unit 2's entry, then run the batch: batchRun must see the
+	// other three only.
+	data, _ := json.Marshal(14)
+	c.Put("key2", data)
+	var got [][]int
+	probe := func(ctx context.Context, idxs []int) ([]int, []error) {
+		got = append(got, append([]int(nil), idxs...))
+		return batchRun(ctx, idxs)
+	}
+	_, st, err := RunBatched(context.Background(), Config{Jobs: 1, Lanes: 4, Cache: c}, mk(), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || fmt.Sprint(got[0]) != "[0 1 3]" {
+		t.Fatalf("batchRun saw %v, want [[0 1 3]]", got)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 1/3", st.CacheHits, st.CacheMisses)
+	}
+	// Second run: all four served from per-unit entries, batchRun unused.
+	got = nil
+	res, st2, err := RunBatched(context.Background(), Config{Jobs: 1, Lanes: 4, Cache: c}, mk(), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("batchRun ran on fully cached units: %v", got)
+	}
+	if st2.CacheHits != 4 {
+		t.Fatalf("hits = %d, want 4", st2.CacheHits)
+	}
+	for i, v := range res {
+		if v != 7*i {
+			t.Fatalf("res[%d] = %d, want %d", i, v, 7*i)
+		}
+	}
+}
+
+// TestRunBatchedErrorAttribution: a failing unit inside a batch fails
+// the run with its own label and index, and the lowest-indexed failure
+// wins; batch siblings still get their results.
+func TestRunBatchedErrorAttribution(t *testing.T) {
+	errB := errors.New("lane blew up")
+	var units []Unit[int]
+	for i := 0; i < 4; i++ {
+		units = append(units, Unit[int]{
+			Label:    fmt.Sprintf("u%d", i),
+			BatchKey: "g",
+			Run:      func(context.Context) (int, error) { return i, nil },
+		})
+	}
+	batchRun := func(_ context.Context, idxs []int) ([]int, []error) {
+		vs := make([]int, len(idxs))
+		errs := make([]error, len(idxs))
+		for j, i := range idxs {
+			if i == 1 {
+				errs[j] = errB
+				continue
+			}
+			vs[j] = i
+		}
+		return vs, errs
+	}
+	_, _, err := RunBatched(context.Background(), Config{Jobs: 1, Lanes: 4}, units, batchRun)
+	if !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want %v", err, errB)
+	}
+	if want := "u1: lane blew up"; err.Error() != want {
+		t.Fatalf("err = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestRunBatchedLanesDisabled: Lanes <= 1 (or a nil batchRun) degrades
+// to the scalar scheduler even when units carry batch keys.
+func TestRunBatchedLanesDisabled(t *testing.T) {
+	var units []Unit[int]
+	for i := 0; i < 4; i++ {
+		units = append(units, Unit[int]{
+			Label:    fmt.Sprintf("u%d", i),
+			BatchKey: "g",
+			Run:      func(context.Context) (int, error) { return i, nil },
+		})
+	}
+	called := false
+	batchRun := func(_ context.Context, idxs []int) ([]int, []error) {
+		called = true
+		return make([]int, len(idxs)), make([]error, len(idxs))
+	}
+	res, _, err := RunBatched(context.Background(), Config{Jobs: 2, Lanes: 1}, units, batchRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("batchRun called with Lanes=1")
+	}
+	for i, v := range res {
+		if v != i {
+			t.Fatalf("res[%d] = %d, want %d", i, v, i)
+		}
+	}
+}

@@ -78,106 +78,113 @@ type Result struct {
 	Halted bool
 }
 
+// poison1 reports whether source register a carries poison; NoReg never
+// does. set0/set1/set2 write a destination register, propagating poison
+// from zero, one or two sources. These are fixed-arity leaf methods
+// (rather than one variadic helper) so the compiler inlines them into
+// Step's per-opcode cases — Step is the simulator's innermost call.
+func (st *State) poison1(a isa.Reg) bool { return a != isa.NoReg && st.Poison[a] }
+
+func (st *State) set0(d isa.Reg, v int64) {
+	st.Regs[d] = v
+	st.Poison[d] = false
+}
+
+func (st *State) set1(d isa.Reg, v int64, a isa.Reg) {
+	st.Regs[d] = v
+	st.Poison[d] = a != isa.NoReg && st.Poison[a]
+}
+
+func (st *State) set2(d isa.Reg, v int64, a, b isa.Reg) {
+	st.Regs[d] = v
+	st.Poison[d] = (a != isa.NoReg && st.Poison[a]) || (b != isa.NoReg && st.Poison[b])
+}
+
 // Step executes the instruction at st.PC semantics-wise (the caller passes
 // the instruction, typically image.Instrs[st.PC]) and advances st.PC.
 // predictTaken supplies the front end's choice for PREDICT instructions
 // and is ignored otherwise; the functional interpreter may pass any value
 // — program results are identical either way by construction of the
 // transformation, which is exactly the property the tests check.
-func Step(st *State, ins isa.Instr, predictTaken bool) (Result, error) {
+func Step(st *State, ins *isa.Instr, predictTaken bool) (Result, error) {
 	res := Result{NextPC: st.PC + 1}
 	r := &st.Regs
-	// poisoned reports whether any of the given registers is poisoned.
-	poisoned := func(regs ...isa.Reg) (isa.Reg, bool) {
-		for _, x := range regs {
-			if x != isa.NoReg && st.Poison[x] {
-				return x, true
-			}
-		}
-		return isa.NoReg, false
-	}
-	// set writes a destination register, propagating poison from sources.
-	set := func(d isa.Reg, v int64, srcs ...isa.Reg) {
-		r[d] = v
-		_, p := poisoned(srcs...)
-		st.Poison[d] = p
-	}
 
 	switch ins.Op {
 	case isa.NOP:
 
 	case isa.ADD:
-		set(ins.Dst, r[ins.Src1]+r[ins.Src2], ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]+r[ins.Src2], ins.Src1, ins.Src2)
 	case isa.SUB:
-		set(ins.Dst, r[ins.Src1]-r[ins.Src2], ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]-r[ins.Src2], ins.Src1, ins.Src2)
 	case isa.MUL:
-		set(ins.Dst, r[ins.Src1]*r[ins.Src2], ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]*r[ins.Src2], ins.Src1, ins.Src2)
 	case isa.DIV:
 		var v int64
 		if d := r[ins.Src2]; d != 0 {
 			v = r[ins.Src1] / d
 		}
-		set(ins.Dst, v, ins.Src1, ins.Src2)
+		st.set2(ins.Dst, v, ins.Src1, ins.Src2)
 	case isa.REM:
 		var v int64
 		if d := r[ins.Src2]; d != 0 {
 			v = r[ins.Src1] % d
 		}
-		set(ins.Dst, v, ins.Src1, ins.Src2)
+		st.set2(ins.Dst, v, ins.Src1, ins.Src2)
 	case isa.AND:
-		set(ins.Dst, r[ins.Src1]&r[ins.Src2], ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]&r[ins.Src2], ins.Src1, ins.Src2)
 	case isa.OR:
-		set(ins.Dst, r[ins.Src1]|r[ins.Src2], ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]|r[ins.Src2], ins.Src1, ins.Src2)
 	case isa.XOR:
-		set(ins.Dst, r[ins.Src1]^r[ins.Src2], ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]^r[ins.Src2], ins.Src1, ins.Src2)
 	case isa.SHL:
-		set(ins.Dst, r[ins.Src1]<<(uint64(r[ins.Src2])&63), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]<<(uint64(r[ins.Src2])&63), ins.Src1, ins.Src2)
 	case isa.SHR:
-		set(ins.Dst, r[ins.Src1]>>(uint64(r[ins.Src2])&63), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, r[ins.Src1]>>(uint64(r[ins.Src2])&63), ins.Src1, ins.Src2)
 	case isa.ADDI:
-		set(ins.Dst, r[ins.Src1]+ins.Imm, ins.Src1)
+		st.set1(ins.Dst, r[ins.Src1]+ins.Imm, ins.Src1)
 	case isa.MULI:
-		set(ins.Dst, r[ins.Src1]*ins.Imm, ins.Src1)
+		st.set1(ins.Dst, r[ins.Src1]*ins.Imm, ins.Src1)
 	case isa.ANDI:
-		set(ins.Dst, r[ins.Src1]&ins.Imm, ins.Src1)
+		st.set1(ins.Dst, r[ins.Src1]&ins.Imm, ins.Src1)
 	case isa.LI:
-		set(ins.Dst, ins.Imm)
+		st.set0(ins.Dst, ins.Imm)
 	case isa.MOV, isa.FMOV:
-		set(ins.Dst, r[ins.Src1], ins.Src1)
+		st.set1(ins.Dst, r[ins.Src1], ins.Src1)
 
 	case isa.CMPEQ:
-		set(ins.Dst, b2i(r[ins.Src1] == r[ins.Src2]), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(r[ins.Src1] == r[ins.Src2]), ins.Src1, ins.Src2)
 	case isa.CMPNE:
-		set(ins.Dst, b2i(r[ins.Src1] != r[ins.Src2]), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(r[ins.Src1] != r[ins.Src2]), ins.Src1, ins.Src2)
 	case isa.CMPLT:
-		set(ins.Dst, b2i(r[ins.Src1] < r[ins.Src2]), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(r[ins.Src1] < r[ins.Src2]), ins.Src1, ins.Src2)
 	case isa.CMPLE:
-		set(ins.Dst, b2i(r[ins.Src1] <= r[ins.Src2]), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(r[ins.Src1] <= r[ins.Src2]), ins.Src1, ins.Src2)
 	case isa.CMPGT:
-		set(ins.Dst, b2i(r[ins.Src1] > r[ins.Src2]), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(r[ins.Src1] > r[ins.Src2]), ins.Src1, ins.Src2)
 	case isa.CMPGE:
-		set(ins.Dst, b2i(r[ins.Src1] >= r[ins.Src2]), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(r[ins.Src1] >= r[ins.Src2]), ins.Src1, ins.Src2)
 
 	case isa.FADD:
-		set(ins.Dst, fbits(st.F(ins.Src1)+st.F(ins.Src2)), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, fbits(st.F(ins.Src1)+st.F(ins.Src2)), ins.Src1, ins.Src2)
 	case isa.FSUB:
-		set(ins.Dst, fbits(st.F(ins.Src1)-st.F(ins.Src2)), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, fbits(st.F(ins.Src1)-st.F(ins.Src2)), ins.Src1, ins.Src2)
 	case isa.FMUL:
-		set(ins.Dst, fbits(st.F(ins.Src1)*st.F(ins.Src2)), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, fbits(st.F(ins.Src1)*st.F(ins.Src2)), ins.Src1, ins.Src2)
 	case isa.FDIV:
-		set(ins.Dst, fbits(st.F(ins.Src1)/st.F(ins.Src2)), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, fbits(st.F(ins.Src1)/st.F(ins.Src2)), ins.Src1, ins.Src2)
 	case isa.FCMPLT:
-		set(ins.Dst, b2i(st.F(ins.Src1) < st.F(ins.Src2)), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(st.F(ins.Src1) < st.F(ins.Src2)), ins.Src1, ins.Src2)
 	case isa.FCMPGE:
-		set(ins.Dst, b2i(st.F(ins.Src1) >= st.F(ins.Src2)), ins.Src1, ins.Src2)
+		st.set2(ins.Dst, b2i(st.F(ins.Src1) >= st.F(ins.Src2)), ins.Src1, ins.Src2)
 	case isa.CVTIF:
-		set(ins.Dst, fbits(float64(r[ins.Src1])), ins.Src1)
+		st.set1(ins.Dst, fbits(float64(r[ins.Src1])), ins.Src1)
 	case isa.CVTFI:
-		set(ins.Dst, int64(st.F(ins.Src1)), ins.Src1)
+		st.set1(ins.Dst, int64(st.F(ins.Src1)), ins.Src1)
 
 	case isa.LD:
-		if p, bad := poisoned(ins.Src1); bad {
-			return res, &PoisonFault{PC: st.PC, Reg: p}
+		if st.poison1(ins.Src1) {
+			return res, &PoisonFault{PC: st.PC, Reg: ins.Src1}
 		}
 		addr := uint64(r[ins.Src1] + ins.Imm)
 		res.IsMem, res.MemAddr = true, addr
@@ -185,11 +192,11 @@ func Step(st *State, ins isa.Instr, predictTaken bool) (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		set(ins.Dst, v)
+		st.set0(ins.Dst, v)
 	case isa.LDS:
 		addr := uint64(r[ins.Src1] + ins.Imm)
 		res.IsMem, res.MemAddr = true, addr
-		if _, bad := poisoned(ins.Src1); bad {
+		if st.poison1(ins.Src1) {
 			// A poisoned address chain keeps the chain poisoned; the access
 			// itself is suppressed.
 			r[ins.Dst] = 0
@@ -204,10 +211,13 @@ func Step(st *State, ins isa.Instr, predictTaken bool) (Result, error) {
 			res.SuppressedFault = true
 			break
 		}
-		set(ins.Dst, v)
+		st.set0(ins.Dst, v)
 	case isa.ST:
-		if p, bad := poisoned(ins.Src1, ins.Src2); bad {
-			return res, &PoisonFault{PC: st.PC, Reg: p}
+		if st.poison1(ins.Src1) {
+			return res, &PoisonFault{PC: st.PC, Reg: ins.Src1}
+		}
+		if st.poison1(ins.Src2) {
+			return res, &PoisonFault{PC: st.PC, Reg: ins.Src2}
 		}
 		addr := uint64(r[ins.Src1] + ins.Imm)
 		res.IsMem, res.MemAddr = true, addr
@@ -216,19 +226,19 @@ func Step(st *State, ins isa.Instr, predictTaken bool) (Result, error) {
 		}
 
 	case isa.CMOV:
-		if p, bad := poisoned(ins.Src1); bad {
+		if st.poison1(ins.Src1) {
 			// The condition steers architectural state: consuming poison
 			// here is a fault, like a branch condition.
-			return res, &PoisonFault{PC: st.PC, Reg: p}
+			return res, &PoisonFault{PC: st.PC, Reg: ins.Src1}
 		}
 		res.CondVal = r[ins.Src1] != 0
 		if res.CondVal {
-			set(ins.Dst, r[ins.Src2], ins.Src2)
+			st.set1(ins.Dst, r[ins.Src2], ins.Src2)
 		}
 
 	case isa.BR:
-		if p, bad := poisoned(ins.Src1); bad {
-			return res, &PoisonFault{PC: st.PC, Reg: p}
+		if st.poison1(ins.Src1) {
+			return res, &PoisonFault{PC: st.PC, Reg: ins.Src1}
 		}
 		res.CondVal = r[ins.Src1] != 0
 		if res.CondVal {
@@ -244,8 +254,8 @@ func Step(st *State, ins isa.Instr, predictTaken bool) (Result, error) {
 		res.Taken = true
 		res.NextPC = ins.Target
 	case isa.RET:
-		if p, bad := poisoned(ins.Src1); bad {
-			return res, &PoisonFault{PC: st.PC, Reg: p}
+		if st.poison1(ins.Src1) {
+			return res, &PoisonFault{PC: st.PC, Reg: ins.Src1}
 		}
 		res.Taken = true
 		res.NextPC = int(r[ins.Src1])
@@ -259,8 +269,8 @@ func Step(st *State, ins isa.Instr, predictTaken bool) (Result, error) {
 			res.NextPC = ins.Target
 		}
 	case isa.RESOLVE:
-		if p, bad := poisoned(ins.Src1); bad {
-			return res, &PoisonFault{PC: st.PC, Reg: p}
+		if st.poison1(ins.Src1) {
+			return res, &PoisonFault{PC: st.PC, Reg: ins.Src1}
 		}
 		res.CondVal = r[ins.Src1] != 0
 		if res.CondVal != ins.Expect {

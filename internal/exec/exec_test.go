@@ -13,7 +13,7 @@ func newState() *State { return NewState(mem.New(), 0) }
 
 func step(t *testing.T, st *State, ins isa.Instr) Result {
 	t.Helper()
-	res, err := Step(st, ins, false)
+	res, err := Step(st, &ins, false)
 	if err != nil {
 		t.Fatalf("Step(%v): %v", ins, err)
 	}
@@ -145,7 +145,7 @@ func TestLoadStore(t *testing.T) {
 
 func TestLoadFaults(t *testing.T) {
 	st := newState()
-	_, err := Step(st, isa.Instr{Op: isa.LD, Dst: isa.R(3), Src1: isa.R(1), Imm: 0}, false)
+	_, err := Step(st, &isa.Instr{Op: isa.LD, Dst: isa.R(3), Src1: isa.R(1), Imm: 0}, false)
 	if _, ok := err.(*mem.Fault); !ok {
 		t.Fatalf("plain load of address 0 must fault, got %v", err)
 	}
@@ -153,7 +153,7 @@ func TestLoadFaults(t *testing.T) {
 
 func TestSpeculativeLoadSuppressesFault(t *testing.T) {
 	st := newState()
-	res, err := Step(st, isa.Instr{Op: isa.LDS, Dst: isa.R(3), Src1: isa.R(1), Imm: 0}, false)
+	res, err := Step(st, &isa.Instr{Op: isa.LDS, Dst: isa.R(3), Src1: isa.R(1), Imm: 0}, false)
 	if err != nil {
 		t.Fatalf("LDS must not fault: %v", err)
 	}
@@ -185,7 +185,7 @@ func TestPoisonConsumptionFaults(t *testing.T) {
 	mk := func() *State {
 		st := newState()
 		st.Regs[1] = mem.FaultBoundary
-		if _, err := Step(st, isa.Instr{Op: isa.LDS, Dst: isa.R(3), Src1: isa.R(9), Imm: 0}, false); err != nil {
+		if _, err := Step(st, &isa.Instr{Op: isa.LDS, Dst: isa.R(3), Src1: isa.R(9), Imm: 0}, false); err != nil {
 			t.Fatal(err)
 		}
 		return st
@@ -200,7 +200,7 @@ func TestPoisonConsumptionFaults(t *testing.T) {
 	}
 	for _, ins := range consumers {
 		st := mk()
-		_, err := Step(st, ins, false)
+		_, err := Step(st, &ins, false)
 		pf, ok := err.(*PoisonFault)
 		if !ok {
 			t.Errorf("%v: consuming poison must fault, got %v", ins, err)
@@ -248,12 +248,12 @@ func TestPredictFollowsChoice(t *testing.T) {
 	st := newState()
 	st.PC = 5
 	ins := isa.Instr{Op: isa.PREDICT, Target: 40}
-	res, err := Step(st, ins, true)
+	res, err := Step(st, &ins, true)
 	if err != nil || !res.Taken || st.PC != 40 {
 		t.Fatalf("predict taken: %+v pc=%d err=%v", res, st.PC, err)
 	}
 	st.PC = 5
-	res, err = Step(st, ins, false)
+	res, err = Step(st, &ins, false)
 	if err != nil || res.Taken || st.PC != 6 {
 		t.Fatalf("predict not-taken: %+v pc=%d err=%v", res, st.PC, err)
 	}
@@ -303,8 +303,8 @@ func TestALURoundTripProperty(t *testing.T) {
 	f := func(a, b int64) bool {
 		st := newState()
 		st.Regs[1], st.Regs[2] = a, b
-		Step(st, isa.Instr{Op: isa.ADD, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false)
-		Step(st, isa.Instr{Op: isa.SUB, Dst: isa.R(4), Src1: isa.R(3), Src2: isa.R(2)}, false)
+		Step(st, &isa.Instr{Op: isa.ADD, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false)
+		Step(st, &isa.Instr{Op: isa.SUB, Dst: isa.R(4), Src1: isa.R(3), Src2: isa.R(2)}, false)
 		return st.Regs[4] == a && st.PC == 2
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -325,7 +325,7 @@ func TestComparisonProperty(t *testing.T) {
 			{isa.CMPLE, a <= b}, {isa.CMPGT, a > b}, {isa.CMPGE, a >= b},
 		}
 		for _, c := range checks {
-			Step(st, isa.Instr{Op: c.op, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false)
+			Step(st, &isa.Instr{Op: c.op, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false)
 			if (st.Regs[3] != 0) != c.want {
 				return false
 			}
@@ -358,7 +358,7 @@ func TestCMOVPoison(t *testing.T) {
 	// Poisoned condition -> fault.
 	st := newState()
 	step(t, st, isa.Instr{Op: isa.LDS, Dst: isa.R(1), Src1: isa.R(9), Imm: 0})
-	if _, err := Step(st, isa.Instr{Op: isa.CMOV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false); err == nil {
+	if _, err := Step(st, &isa.Instr{Op: isa.CMOV, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)}, false); err == nil {
 		t.Error("cmov on a poisoned condition must fault")
 	}
 	// Poisoned value selected -> poison propagates; not selected -> clean.

@@ -25,8 +25,12 @@ import (
 // attributed runs (whose Stats carry an attribution report) never alias
 // v1 entries cached without one. v3: simKey gained the Pipeview field,
 // so pipeviewed runs (whose Stats carry a lifetime-capture report) never
-// alias v2 entries cached without one.
-const harnessVersion = "harness/v3"
+// alias v2 entries cached without one. v4: the simulator core grew the
+// lane-parallel stepping path — laned and scalar runs are proven
+// byte-identical (the lanes differential), but entries cached before the
+// lane core existed must never alias entries computed through it, so the
+// whole namespace moves.
+const harnessVersion = "harness/v4"
 
 // benchJob is one (benchmark, options) experiment. The engine expands it
 // into a build unit (profile, transform, schedule — shared products) plus
@@ -140,6 +144,35 @@ func (j *benchJob) simKey(in workload.Input, width int, binary string) string {
 	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow, j.o.Attr, j.o.PipeviewBench == j.c.Name})
 }
 
+// simImage resolves the patched program image and machine config of one
+// (input, width, binary) simulation from the shared artifacts — the
+// read-only half of a run, shared verbatim by every lane of a batch.
+func (j *benchJob) simImage(a *jobArts, inputIdx, width int, binary string) (*ir.Image, pipeline.Config) {
+	im := a.baseIm
+	if binary == "exp" {
+		im = a.expIm
+	}
+	cfg := j.o.machineConfig(width)
+	if j.o.PipeviewBench == j.c.Name {
+		pv := pipeview.DefaultConfig()
+		cfg.Pipeview = &pv
+	}
+	return j.c.PatchIters(im, j.o.RefInputs[inputIdx].Iters), cfg
+}
+
+// checkRun applies simulate's post-run contract to one machine: wrap the
+// timing error with the unit's identity, then verify architectural memory
+// against the golden model.
+func (j *benchJob) checkRun(mach *pipeline.Machine, gold *mem.Memory, width int, binary string, err error) error {
+	if err != nil {
+		return fmt.Errorf("%s/%s w%d: %w", j.c.Name, binary, width, err)
+	}
+	if gold != nil && !mach.Memory().Equal(gold) {
+		return fmt.Errorf("%s/%s w%d: architectural state diverged from golden model", j.c.Name, binary, width)
+	}
+	return nil
+}
+
 // simulate executes one (input, width, binary) timing run against the
 // shared artifacts and verifies it against the golden model.
 func (j *benchJob) simulate(inputIdx, width int, binary string) (*pipeline.Stats, error) {
@@ -151,33 +184,91 @@ func (j *benchJob) simulate(inputIdx, width int, binary string) (*pipeline.Stats
 	if err != nil {
 		return nil, err
 	}
-	im := a.baseIm
-	if binary == "exp" {
-		im = a.expIm
-	}
-	in := j.o.RefInputs[inputIdx]
-	cfg := j.o.machineConfig(width)
-	if j.o.PipeviewBench == j.c.Name {
-		pv := pipeview.DefaultConfig()
-		cfg.Pipeview = &pv
-	}
-	mach := pipeline.New(j.c.PatchIters(im, in.Iters), ia.refMem.Clone(), cfg)
+	im, cfg := j.simImage(a, inputIdx, width, binary)
+	mach := pipeline.New(im, ia.refMem.Clone(), cfg)
 	st, err := mach.Run()
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s w%d: %w", j.c.Name, binary, width, err)
-	}
-	if ia.gold != nil && !mach.Memory().Equal(ia.gold) {
-		return nil, fmt.Errorf("%s/%s w%d: architectural state diverged from golden model", j.c.Name, binary, width)
+	if err := j.checkRun(mach, ia.gold, width, binary, err); err != nil {
+		return nil, err
 	}
 	return st, nil
+}
+
+// simRef locates one simulation unit for the batch scheduler: the job it
+// belongs to plus the (input, width, binary) coordinates its scalar
+// closure would use. runBenchJobs builds one per simulation unit, in the
+// same order the units are enumerated.
+type simRef struct {
+	j        *benchJob
+	inputIdx int
+	width    int
+	binary   string
+}
+
+// simulateBatch runs a group of same-BatchKey simulations as one
+// pipeline.LaneGroup. All refs share (job, width, binary, iters) — the
+// batch key pins them — so the patched image and machine config are
+// resolved once; each lane gets its own REF memory clone and its own
+// golden check. Per-lane results and errors land in the slot of the ref
+// that produced them, so a failing lane does not poison its siblings.
+func simulateBatch(refs []simRef) ([]*pipeline.Stats, []error) {
+	j := refs[0].j
+	stats := make([]*pipeline.Stats, len(refs))
+	errs := make([]error, len(refs))
+	fill := func(err error) ([]*pipeline.Stats, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return stats, errs
+	}
+	a, err := j.artifacts()
+	if err != nil {
+		return fill(err)
+	}
+	im, cfg := j.simImage(a, refs[0].inputIdx, refs[0].width, refs[0].binary)
+
+	// Resolve each lane's input artifacts; a lane whose input fails drops
+	// out of the group before the machines are built.
+	ok := make([]int, 0, len(refs))
+	mems := make([]*mem.Memory, 0, len(refs))
+	golds := make([]*mem.Memory, 0, len(refs))
+	for i, r := range refs {
+		ia, err := j.input(r.inputIdx)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		ok = append(ok, i)
+		mems = append(mems, ia.refMem.Clone())
+		golds = append(golds, ia.gold)
+	}
+	if len(ok) == 0 {
+		return stats, errs
+	}
+
+	g := pipeline.NewLaneGroup(im, mems, cfg)
+	laneStats, laneErrs := g.Run()
+	for li, i := range ok {
+		r := refs[i]
+		if err := j.checkRun(g.Lane(li), golds[li], r.width, r.binary, laneErrs[li]); err != nil {
+			errs[i] = err
+			continue
+		}
+		stats[i] = laneStats[li]
+	}
+	return stats, errs
 }
 
 // units enumerates the job's engine units in deterministic order: the
 // build unit first, then (input x width x {base, exp}) simulations. The
 // build unit is uncacheable on purpose — the aggregated BenchResult needs
 // the profile and transform report even when every simulation below is a
-// cache hit.
-func (j *benchJob) units(jobIdx int) []engine.Unit[*pipeline.Stats] {
+// cache hit. Each simulation also gets a simRef (parallel slice, same
+// order) and a BatchKey pinning everything the lanes of one group must
+// share — job, width, binary, and iteration count (PatchIters bakes
+// Iters into the image) — so only simulations over the exact same
+// patched image and config ever coalesce; seeds may differ per lane
+// because they live in the per-lane memory image.
+func (j *benchJob) units(jobIdx int) ([]engine.Unit[*pipeline.Stats], []simRef) {
 	us := []engine.Unit[*pipeline.Stats]{{
 		Label: fmt.Sprintf("%d/%s/build", jobIdx, j.c.Name),
 		Run: func(context.Context) (*pipeline.Stats, error) {
@@ -185,21 +276,24 @@ func (j *benchJob) units(jobIdx int) []engine.Unit[*pipeline.Stats] {
 			return nil, err
 		},
 	}}
+	refs := []simRef{{}} // build unit placeholder; never batched
 	for ii, in := range j.o.RefInputs {
 		for _, w := range j.o.Widths {
 			for _, binary := range []string{"base", "exp"} {
 				us = append(us, engine.Unit[*pipeline.Stats]{
 					Label: fmt.Sprintf("%d/%s/seed=%d,iters=%d/w%d/%s",
 						jobIdx, j.c.Name, in.Seed, in.Iters, w, binary),
-					Key: j.simKey(in, w, binary),
+					Key:      j.simKey(in, w, binary),
+					BatchKey: fmt.Sprintf("%d/w%d/%s/iters=%d", jobIdx, w, binary, in.Iters),
 					Run: func(context.Context) (*pipeline.Stats, error) {
 						return j.simulate(ii, w, binary)
 					},
 				})
+				refs = append(refs, simRef{j: j, inputIdx: ii, width: w, binary: binary})
 			}
 		}
 	}
-	return us
+	return us, refs
 }
 
 // runBenchJobs executes a (possibly heterogeneous) set of benchmark jobs
@@ -208,14 +302,24 @@ func (j *benchJob) units(jobIdx int) []engine.Unit[*pipeline.Stats] {
 // comes from o; each job's own Options govern what it simulates.
 func runBenchJobs(jobs []*benchJob, o Options) ([]*BenchResult, error) {
 	var units []engine.Unit[*pipeline.Stats]
+	var refs []simRef
 	first := make([]int, len(jobs)) // index of each job's first simulation unit
 	for ji, j := range jobs {
-		us := j.units(ji)
+		us, rs := j.units(ji)
 		first[ji] = len(units) + 1 // skip the build unit
 		units = append(units, us...)
+		refs = append(refs, rs...)
 	}
-	results, est, err := engine.Run(context.Background(),
-		engine.Config{Jobs: o.Jobs, Cache: o.Cache, Monitor: o.Monitor}, units)
+	batchRun := func(_ context.Context, idxs []int) ([]*pipeline.Stats, []error) {
+		group := make([]simRef, len(idxs))
+		for k, i := range idxs {
+			group[k] = refs[i]
+		}
+		return simulateBatch(group)
+	}
+	results, est, err := engine.RunBatched(context.Background(),
+		engine.Config{Jobs: o.Jobs, Cache: o.Cache, Monitor: o.Monitor, Lanes: o.laneCount()},
+		units, batchRun)
 	if o.EngineStats != nil {
 		o.EngineStats.add(est)
 	}
@@ -254,6 +358,16 @@ func runBenchJobs(jobs []*benchJob, o Options) ([]*BenchResult, error) {
 		out[ji] = res
 	}
 	return out, nil
+}
+
+// laneCount resolves Options.Lanes to an effective group width: 0 means
+// automatic (pipeline.DefaultLanes); anything else passes through, with
+// 1 (or a negative value) selecting the scalar path.
+func (o *Options) laneCount() int {
+	if o.Lanes == 0 {
+		return pipeline.DefaultLanes
+	}
+	return o.Lanes
 }
 
 // EngineStats accumulates experiment-engine telemetry across every

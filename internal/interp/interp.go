@@ -60,7 +60,7 @@ func Run(im *ir.Image, m *mem.Memory, opt Options) (*exec.State, *Stats, error) 
 		if st.PC < 0 || st.PC >= len(im.Instrs) {
 			return st, stats, fmt.Errorf("interp: pc %d outside image [0,%d)", st.PC, len(im.Instrs))
 		}
-		ins := im.Instrs[st.PC]
+		ins := &im.Instrs[st.PC]
 		predictTaken := false
 		if ins.Op == isa.PREDICT && opt.PredictOracle != nil {
 			predictTaken = opt.PredictOracle(st.PC, ins.BranchID)
@@ -68,7 +68,7 @@ func Run(im *ir.Image, m *mem.Memory, opt Options) (*exec.State, *Stats, error) 
 		pc := st.PC
 		res, err := exec.Step(st, ins, predictTaken)
 		if err != nil {
-			return st, stats, fmt.Errorf("interp: pc %d (%v): %w", pc, ins, err)
+			return st, stats, fmt.Errorf("interp: pc %d (%v): %w", pc, *ins, err)
 		}
 		stats.Instrs++
 		switch ins.Op {
@@ -93,7 +93,7 @@ func Run(im *ir.Image, m *mem.Memory, opt Options) (*exec.State, *Stats, error) 
 			stats.Stores++
 		}
 		if opt.OnBranch != nil && (ins.Op == isa.BR || ins.Op == isa.PREDICT || ins.Op == isa.RESOLVE) {
-			opt.OnBranch(pc, ins, res)
+			opt.OnBranch(pc, *ins, res)
 		}
 	}
 	return st, stats, nil

@@ -17,17 +17,26 @@ import (
 	"vanguard/internal/trace"
 )
 
-// fetchEntry is one slot of the fetch buffer. It deliberately carries no
+// fetchEntry is the hot slot of the fetch buffer: only what every
+// instruction needs on the fetch→issue path. It deliberately carries no
 // isa.Instr and no derivable timing: the instruction word is re-read from
 // the immutable image by pc and the earliest issue cycle is
-// fetchedAt + FrontEndDepth - 1, which keeps the struct small enough that
-// the fetch→issue→specPoint copies stay cheap.
+// fetchedAt + FrontEndDepth - 1. Speculation metadata lives in the
+// parallel cold array (fetchSpec), so the per-instruction queue copies
+// move 24 bytes instead of ~112.
 type fetchEntry struct {
 	seq       int64
 	pc        int
 	fetchedAt int64 // cycle the entry was fetched (fetch-to-issue telemetry)
+}
 
-	// Speculation metadata captured in the front end.
+// fetchSpec is the cold slot paired with each fetchEntry: speculation
+// metadata captured in the front end. Slots are only written (and only
+// valid) for ops that issue a speculation point or repair state — BR,
+// RESOLVE, RET; for everything else the slot holds stale garbage that is
+// never read. Writers must assign the whole struct so unset fields are
+// zero, exactly as when this data lived inline in fetchEntry.
+type fetchSpec struct {
 	predTaken   bool       // BR: predicted direction
 	predTarget  int        // RET: RAS-predicted target
 	meta        bpred.Meta // BR: predictor metadata
@@ -94,6 +103,7 @@ func predecode(instrs []isa.Instr) []predecoded {
 // squash rewinds the journal back to it.
 type specPoint struct {
 	fe          fetchEntry
+	spec        fetchSpec
 	resolveAt   int64
 	mispredict  bool
 	redirectPC  int
@@ -223,12 +233,18 @@ type Machine struct {
 	fetchStall    int64
 	lastFetchLine uint64
 	fetchHalted   bool
-	// The fetch buffer is a head-indexed queue over a slice whose
-	// capacity is pinned at FetchBufEntries: issue pops by advancing
-	// fbHead and fbPush compacts the live tail down only when the
-	// storage is exhausted, so steady-state fetch never reallocates.
+	// The fetch buffer is a power-of-two ring: fbHead indexes the oldest
+	// entry, fbCnt is the occupancy (bounded by FetchBufEntries), and
+	// fbMask wraps indexes. A ring never compacts — the buffer runs full
+	// in steady state (fetch refills what issue drains every cycle), so a
+	// compacting queue would memmove nearly the whole buffer per cycle —
+	// and entries keep stable addresses between push and pop.
+	// fbSpec is the index-aligned cold array (see fetchSpec).
 	fb     []fetchEntry
+	fbSpec []fetchSpec
 	fbHead int
+	fbCnt  int
+	fbMask int
 	seq    int64
 	curSeq int64
 
@@ -248,6 +264,12 @@ type Machine struct {
 	sb     []sbEntry
 	sbLast [sbSlots]sbSlot
 	sbGen  uint32
+
+	// brStats memoizes stats.branch by BranchID: the per-branch books are
+	// charged on every branch issue and stall scan, and a slice index
+	// beats the map probe on that path. The map in Stats stays the
+	// exported (and serialized) form.
+	brStats []*BranchStats
 
 	// Preallocated fault sentinels: wrong-path probes hit these instead
 	// of allocating, and a fault that is actually deferred is copied into
@@ -319,20 +341,31 @@ type Machine struct {
 
 // New builds a machine over the image and memory (mutated during the run).
 func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
+	return newShared(im, m, cfg, predecode(im.Instrs), cfg.Hier.Geom())
+}
+
+// newShared builds a machine over caller-supplied predecode and cache
+// geometry. Both are derived deterministically from (im, cfg), so a
+// machine built here is indistinguishable from New's — this is the
+// constructor LaneGroup uses to amortize the per-lane setup across a
+// group of same-image machines.
+func newShared(im *ir.Image, m *mem.Memory, cfg Config, pre []predecoded, geom cache.HierGeom) *Machine {
 	mach := &Machine{
 		cfg:           cfg,
 		im:            im,
 		mem:           m,
-		Hier:          cache.NewHierarchy(cfg.Hier),
+		Hier:          cache.NewHierarchyWithGeom(cfg.Hier, geom),
 		pred:          cfg.NewPredictor(),
 		btb:           bpred.NewBTB(cfg.BTBLogEntries),
 		ras:           bpred.NewRAS(cfg.RASEntries),
 		DBB:           NewDBB(cfg.DBBEntries),
-		pre:           predecode(im.Instrs),
+		pre:           pre,
 		feDelay:       int64(cfg.FrontEndDepth) - 1,
 		fetchPC:       im.Entry,
 		lastFetchLine: math.MaxUint64,
-		fb:            make([]fetchEntry, 0, cfg.FetchBufEntries),
+		fb:            make([]fetchEntry, ringSize(cfg.FetchBufEntries)),
+		fbSpec:        make([]fetchSpec, ringSize(cfg.FetchBufEntries)),
+		fbMask:        ringSize(cfg.FetchBufEntries) - 1,
 		inflight:      make([]specPoint, 0, 2*cfg.Width+4),
 		journal:       make([]regUndo, 0, 64),
 		sb:            make([]sbEntry, 0, 64),
@@ -388,7 +421,7 @@ const exceptionPenaltyCycles = 30
 func (m *Machine) takeException() {
 	m.stats.Exceptions++
 	if m.fbLen() > 0 {
-		head := &m.fb[m.fbHead]
+		head := m.fbAt(0)
 		m.fetchPC = head.pc
 		m.stats.SquashedFetched += int64(m.fbLen())
 		if m.Sink != nil {
@@ -431,7 +464,26 @@ func (m *Machine) Memory() *mem.Memory { return m.mem }
 // committed faults, drain committed stores, inject exceptions, then issue
 // and fetch. It returns done=true when the run is over (HALT drained or an
 // instruction cap hit) and a non-nil error on an architectural fault.
+//
+// The cycle is split into three phases so LaneGroup can interleave them
+// across lanes (all resolves, then all issues, then all fetches, which
+// keeps the shared image/predecode tables hot across the group) while a
+// scalar machine runs them back to back. The phases touch only per-machine
+// state, so the interleaving cannot change any lane's results.
 func (m *Machine) stepCycle() (done bool, err error) {
+	if done, err := m.resolvePhase(); done || err != nil {
+		return done, err
+	}
+	m.issuePhase()
+	m.fetchPhase()
+	return false, nil
+}
+
+// resolvePhase is the back half of a cycle: resolve speculation, surface
+// committed faults, drain committed stores, inject exceptions, and report
+// completion. done/err have stepCycle's meaning; when either is set the
+// remaining phases must not run.
+func (m *Machine) resolvePhase() (done bool, err error) {
 	m.resolve()
 	if err := m.commitFaultCheck(); err != nil {
 		return true, err
@@ -442,23 +494,29 @@ func (m *Machine) stepCycle() (done bool, err error) {
 		m.takeException()
 		m.nextException += m.cfg.ExceptionEveryN
 	}
-	if m.done() {
-		return true, nil
-	}
+	return m.done(), nil
+}
+
+// issuePhase runs the issue stage, attribution-wrapped when enabled.
+func (m *Machine) issuePhase() {
 	if m.attr == nil {
 		m.issue()
-	} else {
-		issuedBefore := m.stats.Issued
-		m.attrCause, m.attrIdx = attr.Fetch, 0
-		m.issue()
-		m.chargeAttr(int(m.stats.Issued - issuedBefore))
+		return
 	}
+	issuedBefore := m.stats.Issued
+	m.attrCause, m.attrIdx = attr.Fetch, 0
+	m.issue()
+	m.chargeAttr(int(m.stats.Issued - issuedBefore))
+}
+
+// fetchPhase runs fetch, advances the clock, and closes a sample window
+// that ended on this cycle.
+func (m *Machine) fetchPhase() {
 	m.fetch()
 	m.now++
 	if m.sampler != nil && m.now >= m.sampler.NextAt() {
 		m.closeSampleWindow()
 	}
-	return false, nil
 }
 
 // closeSampleWindow records the just-finished cycle window and re-arms
@@ -536,7 +594,7 @@ func (m *Machine) attrNoteFrontEnd() {
 // — split out per load PC when the producer is an in-flight load.
 func (m *Machine) attrNoteOperand(pd *predecoded) {
 	for k := 0; k < m.fbLen() && k < 6; k++ {
-		kpd := &m.pre[m.fb[m.fbHead+k].pc]
+		kpd := &m.pre[m.fbAt(k).pc]
 		if kpd.op == isa.RESOLVE {
 			m.attrCause, m.attrIdx = attr.ResolveWindow, int(kpd.branch)
 			return
@@ -558,8 +616,10 @@ func (m *Machine) attrNoteOperand(pd *predecoded) {
 	m.attrCause, m.attrIdx = attr.OperandWait, 0
 }
 
-// Run simulates to HALT (or an instruction/cycle cap) and returns stats.
-func (m *Machine) Run() (*Stats, error) {
+// prepareRun attaches the waterfall recorder and the cache-miss event
+// bridge and returns the effective cycle cap — the setup common to
+// Machine.Run and LaneGroup.Run.
+func (m *Machine) prepareRun() int64 {
 	maxCycles := m.cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = 2_000_000_000
@@ -575,10 +635,21 @@ func (m *Machine) Run() (*Stats, error) {
 				Cycle: m.now, Seq: -1, Addr: ms.Addr, Val: ms.Latency})
 		}
 	}
+	return maxCycles
+}
+
+// cycleLimitErr is the error a run reports when it hits the cycle cap.
+func (m *Machine) cycleLimitErr(maxCycles int64) error {
+	return fmt.Errorf("pipeline: cycle limit %d reached at pc %d", maxCycles, m.fetchPC)
+}
+
+// Run simulates to HALT (or an instruction/cycle cap) and returns stats.
+func (m *Machine) Run() (*Stats, error) {
+	maxCycles := m.prepareRun()
 	for {
 		if m.now >= maxCycles {
 			m.finishStats()
-			return &m.stats, fmt.Errorf("pipeline: cycle limit %d reached at pc %d", maxCycles, m.fetchPC)
+			return &m.stats, m.cycleLimitErr(maxCycles)
 		}
 		done, err := m.stepCycle()
 		if err != nil {
@@ -667,15 +738,8 @@ func (m *Machine) infClear() {
 // a speculation point's mark are younger than it.
 func (m *Machine) jMark() int64 { return m.jBase + int64(len(m.journal)) }
 
-// journalWrite records the pre-write state of register d. When nothing is
-// in flight the journal can never be rewound, so it is reset in place
-// first — that keeps its live region bounded by the writes of the last
-// unresolved speculation window (a few issue groups), not the whole run.
+// journalWrite records the pre-write state of register d.
 func (m *Machine) journalWrite(d isa.Reg) {
-	if m.infLen() == 0 && len(m.journal) > 0 {
-		m.jBase += int64(len(m.journal))
-		m.journal = m.journal[:0]
-	}
 	m.journal = append(m.journal, regUndo{
 		val:    m.st.Regs[d],
 		ready:  m.regReady[d],
@@ -734,23 +798,23 @@ func (m *Machine) resolve() {
 		switch ins.Op {
 		case isa.BR:
 			m.stats.CondBranches++
-			bs := m.stats.branch(ins.BranchID)
+			bs := m.branchStats(ins.BranchID)
 			bs.Execs++
 			if sp.mispredict {
 				m.stats.BrMispredicts++
 				bs.Mispredicts++
-				m.pred.Restore(fe.histCkpt)
+				m.pred.Restore(sp.spec.histCkpt)
 				m.pred.PushHistory(sp.actualTaken)
 			}
-			m.pred.Update(addr, sp.actualTaken, fe.meta)
+			m.pred.Update(addr, sp.actualTaken, sp.spec.meta)
 			if sp.actualTaken {
 				m.btb.Insert(addr, ins.Target)
 			}
 		case isa.RESOLVE:
 			m.stats.Resolves++
-			bs := m.stats.branch(ins.BranchID)
+			bs := m.branchStats(ins.BranchID)
 			bs.Execs++
-			if e, ok := m.DBB.Read(fe.dbbIdx); ok {
+			if e, ok := m.DBB.Read(sp.spec.dbbIdx); ok {
 				if sp.mispredict {
 					// Repair history: rewind to the predict's checkpoint
 					// and push the actual outcome of the original branch.
@@ -858,9 +922,9 @@ func (m *Machine) flush(sp *specPoint) {
 		m.pendFaultSeq, m.pendFaultErr = -1, nil
 	}
 
-	m.ras.Restore(sp.fe.rasCkpt)
-	m.DBB.RestoreTail(sp.fe.dbbTailCkpt)
-	m.dbbOcc = sp.fe.dbbOccCkpt
+	m.ras.Restore(sp.spec.rasCkpt)
+	m.DBB.RestoreTail(sp.spec.dbbTailCkpt)
+	m.dbbOcc = sp.spec.dbbOccCkpt
 
 	m.fetchPC = sp.redirectPC
 	m.fetchHalted = false
@@ -1003,7 +1067,7 @@ func (m *Machine) issue() {
 	issued := 0
 	var fuUsed [isa.NumFUClasses]int
 	for m.fbLen() > 0 && issued < m.cfg.Width {
-		fe := &m.fb[m.fbHead]
+		fe := m.fbAt(0)
 		if fe.fetchedAt+m.feDelay > m.now {
 			if issued == 0 {
 				m.stats.EmptyFetchCycles++
@@ -1024,16 +1088,17 @@ func (m *Machine) issue() {
 				// its condition slice).
 				cause := uint8(stallOperand)
 				for k := 0; k < m.fbLen() && k < 6; k++ {
-					kpd := &m.pre[m.fb[m.fbHead+k].pc]
+					kpc := m.fbAt(k).pc
+					kpd := &m.pre[kpc]
 					if kpd.op == isa.RESOLVE {
 						m.stats.ResolveStallCycles++
-						m.stats.branch(m.im.Instrs[m.fb[m.fbHead+k].pc].BranchID).StallCycles++
+						m.branchStats(m.im.Instrs[kpc].BranchID).StallCycles++
 						cause = stallResolve
 						break
 					}
 					if kpd.op == isa.BR {
 						m.stats.BranchStallCycles++
-						m.stats.branch(m.im.Instrs[m.fb[m.fbHead+k].pc].BranchID).StallCycles++
+						m.branchStats(m.im.Instrs[kpc].BranchID).StallCycles++
 						cause = stallBranch
 						break
 					}
@@ -1058,10 +1123,11 @@ func (m *Machine) issue() {
 		}
 		fuUsed[fu]++
 		issued++
-		// fe stays valid across the pop: fbPop only advances the head,
+		// fe/fs stay valid across the pop: fbPop only advances the head,
 		// and nothing pushes until the next fetch stage.
+		fs := &m.fbSpec[m.fbHead]
 		m.fbPop()
-		m.issueOne(fe, pd)
+		m.issueOne(fe, fs, pd)
 		if pd.op == isa.HALT {
 			// Post-HALT drain: remaining slots are front-end bubbles.
 			if m.attr != nil {
@@ -1079,7 +1145,7 @@ func (m *Machine) issue() {
 	}
 }
 
-func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
+func (m *Machine) issueOne(fe *fetchEntry, fs *fetchSpec, pd *predecoded) {
 	m.stats.Issued++
 	m.stats.FetchToIssue.Observe(m.now - fe.fetchedAt)
 	if m.stallRun > 0 {
@@ -1110,13 +1176,18 @@ func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
 			}
 		}
 	}
-	if d := pd.def; d != isa.NoReg {
+	// Journal the pre-write state only when a mark could reach it: a
+	// write with nothing in flight and no spec point issuing here can
+	// never be rewound (every future mark is taken after it), so the
+	// busiest path skips the journal entirely. A spec instruction takes
+	// its own mark above, before its def write, so it always journals.
+	if d := pd.def; d != isa.NoReg && (isSpec || m.infLen() > 0) {
 		m.journalWrite(d)
 	}
 
 	m.st.PC = fe.pc
 	m.curSeq = fe.seq
-	res, err := exec.Step(m.st, *ins, false)
+	res, err := exec.Step(m.st, ins, false)
 	if err != nil && m.pendFaultSeq < 0 {
 		// Defer: real only if this instruction commits. Copy a sentinel
 		// Fault into stable storage so later wrong-path probes (which
@@ -1156,6 +1227,7 @@ func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
 	if isSpec {
 		sp := specPoint{
 			fe:        *fe,
+			spec:      *fs,
 			resolveAt: m.now + 1,
 			halted:    wasHalted,
 			jMark:     jmark,
@@ -1163,14 +1235,14 @@ func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
 		switch pd.op {
 		case isa.BR:
 			sp.actualTaken = res.CondVal
-			sp.mispredict = err == nil && res.CondVal != fe.predTaken
+			sp.mispredict = err == nil && res.CondVal != fs.predTaken
 			sp.redirectPC = res.NextPC
 		case isa.RESOLVE:
 			sp.actualTaken = res.CondVal
 			sp.mispredict = err == nil && res.Taken
 			sp.redirectPC = res.NextPC
 		case isa.RET:
-			sp.mispredict = err == nil && res.NextPC != fe.predTarget
+			sp.mispredict = err == nil && res.NextPC != fs.predTarget
 			sp.redirectPC = res.NextPC
 		}
 		sp.issuedSnapshot = m.stats.Issued
@@ -1182,31 +1254,59 @@ func (m *Machine) issueOne(fe *fetchEntry, pd *predecoded) {
 	}
 }
 
+// branchStats is the hot-path face of stats.branch: same map entries,
+// BranchID-indexed memo.
+func (m *Machine) branchStats(id int) *BranchStats {
+	if id < len(m.brStats) {
+		if b := m.brStats[id]; b != nil {
+			return b
+		}
+	} else {
+		nb := make([]*BranchStats, id+1)
+		copy(nb, m.brStats)
+		m.brStats = nb
+	}
+	b := m.stats.branch(id)
+	m.brStats[id] = b
+	return b
+}
+
 // ---- fetch buffer queue ----
 
-func (m *Machine) fbLen() int { return len(m.fb) - m.fbHead }
-
-// fbPush appends at the tail, compacting consumed head space only when
-// the backing storage is full — occupancy is bounded by FetchBufEntries,
-// so the copy moves at most that many entries and amortizes to O(1).
-func (m *Machine) fbPush(fe fetchEntry) {
-	if len(m.fb) == cap(m.fb) && m.fbHead > 0 {
-		n := copy(m.fb, m.fb[m.fbHead:])
-		m.fb = m.fb[:n]
-		m.fbHead = 0
+// ringSize rounds n up to a power of two so ring indexes wrap with a
+// mask instead of a modulo.
+func ringSize(n int) int {
+	s := 1
+	for s < n {
+		s <<= 1
 	}
-	m.fb = append(m.fb, fe)
+	return s
+}
+
+func (m *Machine) fbLen() int { return m.fbCnt }
+
+// fbAt returns the k-th entry from the head (k < fbLen()).
+func (m *Machine) fbAt(k int) *fetchEntry { return &m.fb[(m.fbHead+k)&m.fbMask] }
+
+// fbPush appends at the tail of the ring; occupancy is bounded by
+// FetchBufEntries (<= len(m.fb)), so the slot is always free. It returns
+// the entry's cold slot, which holds stale garbage: callers pushing a
+// speculation op must assign the whole fetchSpec; everyone else leaves
+// it untouched (and it is never read).
+func (m *Machine) fbPush(fe fetchEntry) *fetchSpec {
+	slot := (m.fbHead + m.fbCnt) & m.fbMask
+	m.fb[slot] = fe
+	m.fbCnt++
+	return &m.fbSpec[slot]
 }
 
 func (m *Machine) fbPop() {
-	m.fbHead++
-	if m.fbHead == len(m.fb) {
-		m.fb, m.fbHead = m.fb[:0], 0
-	}
+	m.fbHead = (m.fbHead + 1) & m.fbMask
+	m.fbCnt--
 }
 
 func (m *Machine) fbClear() {
-	m.fb, m.fbHead = m.fb[:0], 0
+	m.fbHead, m.fbCnt = 0, 0
 }
 
 // ---- fetch ----
@@ -1243,7 +1343,7 @@ func (m *Machine) fetch() {
 			m.underMispred = false
 		}
 
-		ins := m.im.Instrs[m.fetchPC]
+		ins := &m.im.Instrs[m.fetchPC]
 		fe := fetchEntry{
 			seq:       m.seq,
 			pc:        m.fetchPC,
@@ -1254,10 +1354,10 @@ func (m *Machine) fetch() {
 		m.stats.Fetched++
 		if m.Sink != nil {
 			m.Sink.Emit(trace.Event{Kind: trace.KindFetch, Cycle: m.now,
-				Seq: fe.seq, PC: fe.pc, Ins: ins})
+				Seq: fe.seq, PC: fe.pc, Ins: *ins})
 		}
 
-		switch ins.Op {
+		switch m.pre[m.fetchPC].op {
 		case isa.JMP:
 			m.fbPush(fe)
 			m.fetchPC = ins.Target
@@ -1268,27 +1368,31 @@ func (m *Machine) fetch() {
 			m.fetchPC = ins.Target
 			return
 		case isa.RET:
-			fe.rasCkpt = m.ras.Checkpoint()
+			rasCkpt := m.ras.Checkpoint()
 			tgt, ok := m.ras.Pop()
 			if !ok {
 				tgt = m.fetchPC + 1 // underflow: sequential guess
 			}
-			fe.predTarget = tgt
-			fe.histCkpt = m.pred.Checkpoint()
-			fe.dbbTailCkpt = m.DBB.Tail()
-			m.fbPush(fe)
+			*m.fbPush(fe) = fetchSpec{
+				predTarget:  tgt,
+				histCkpt:    m.pred.Checkpoint(),
+				rasCkpt:     rasCkpt,
+				dbbTailCkpt: m.DBB.Tail(),
+			}
 			m.fetchPC = tgt
 			return
 		case isa.BR:
-			fe.histCkpt = m.pred.Checkpoint()
-			fe.rasCkpt = m.ras.Checkpoint()
-			fe.dbbTailCkpt = m.DBB.Tail()
-			fe.dbbOccCkpt = m.dbbOcc
+			fs := fetchSpec{
+				histCkpt:    m.pred.Checkpoint(),
+				rasCkpt:     m.ras.Checkpoint(),
+				dbbTailCkpt: m.DBB.Tail(),
+				dbbOccCkpt:  m.dbbOcc,
+			}
 			taken, meta := m.pred.Predict(addr)
 			m.pred.PushHistory(taken)
 			m.btb.Lookup(addr)
-			fe.predTaken, fe.meta = taken, meta
-			m.fbPush(fe)
+			fs.predTaken, fs.meta = taken, meta
+			*m.fbPush(fe) = fs
 			if taken {
 				m.fetchPC = ins.Target
 				return
@@ -1314,7 +1418,7 @@ func (m *Machine) fetch() {
 			m.stats.DBBOccupancy.Observe(int64(m.dbbOcc))
 			if m.Sink != nil {
 				m.Sink.Emit(trace.Event{Kind: trace.KindDBBPush, Cycle: m.now,
-					Seq: fe.seq, PC: fe.pc, Ins: ins, Val: int64(m.dbbOcc)})
+					Seq: fe.seq, PC: fe.pc, Ins: *ins, Val: int64(m.dbbOcc)})
 			}
 			if taken {
 				m.fetchPC = ins.Target
@@ -1323,20 +1427,21 @@ func (m *Machine) fetch() {
 			m.fetchPC++
 		case isa.RESOLVE:
 			// Statically predicted not-taken; carries the DBB tail index.
-			fe.dbbIdx = m.DBB.Tail()
-			fe.dbbTailCkpt = m.DBB.Tail()
-			fe.dbbOccCkpt = m.dbbOcc
-			fe.histCkpt = m.pred.Checkpoint()
-			fe.rasCkpt = m.ras.Checkpoint()
+			*m.fbPush(fe) = fetchSpec{
+				histCkpt:    m.pred.Checkpoint(),
+				rasCkpt:     m.ras.Checkpoint(),
+				dbbIdx:      m.DBB.Tail(),
+				dbbTailCkpt: m.DBB.Tail(),
+				dbbOccCkpt:  m.dbbOcc,
+			}
 			if m.dbbOcc > 0 {
 				m.dbbOcc--
 			}
 			m.stats.DBBOccupancy.Observe(int64(m.dbbOcc))
 			if m.Sink != nil {
 				m.Sink.Emit(trace.Event{Kind: trace.KindDBBPop, Cycle: m.now,
-					Seq: fe.seq, PC: fe.pc, Ins: ins, Val: int64(m.dbbOcc)})
+					Seq: fe.seq, PC: fe.pc, Ins: *ins, Val: int64(m.dbbOcc)})
 			}
-			m.fbPush(fe)
 			m.fetchPC++
 		case isa.HALT:
 			m.fbPush(fe)
