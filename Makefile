@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-all bench-diff bench-json results attr-gate staticcheck pipeview-gate lane-gate
+.PHONY: all build test check fmt vet race bench bench-all bench-diff bench-json results attr-gate staticcheck pipeview-gate lane-gate kernel-gate
 
 # Pinned staticcheck version: `go run` resolves it through the module
 # proxy, so the exact analyzer version is reproducible everywhere.
@@ -61,8 +61,20 @@ lane-gate:
 		./internal/pipeline/ ./internal/harness/ ./internal/engine/ \
 		./internal/pipeview/ ./internal/textplot/ ./internal/trace/
 
+# Kernel-dispatch gate: the switch-vs-kernels differentials — the
+# per-opcode exec property fuzz, the pipeline stats/memory A/B, the
+# functional simulator A/B (including adversarial PREDICT oracles and
+# instruction-cap straddling), and the end-to-end harness byte-identity
+# at lanes 1 and auto — under the race detector and uncached, so the
+# predecoded kernel table can never change a result byte or be shared
+# unsafely across lanes.
+kernel-gate:
+	$(GO) test -race -count 1 \
+		-run 'TestKernel|TestDispatch|TestInterpDispatch|TestCompileRejects|TestStepUnknown|TestDivRem|TestFus' \
+		./internal/exec/ ./internal/pipeline/ ./internal/interp/ ./internal/harness/
+
 # Pre-PR gate: run this before every commit.
-check: fmt vet build staticcheck lane-gate race
+check: fmt vet build staticcheck lane-gate kernel-gate race
 
 # Attribution-conservation gate: every attributed fast-suite simulation
 # must charge exactly cycles x width issue slots (pipeline invariant

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"vanguard/internal/engine"
+	"vanguard/internal/exec"
 	"vanguard/internal/harness"
 	"vanguard/internal/pipeline"
 )
@@ -25,6 +26,7 @@ func main() {
 		fast     = flag.Bool("fast", false, "reduced inputs")
 		attrF    = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation (feeds the monitor's /metrics per-cause counters)")
 		jsonF    = flag.String("json", "", "also write the sweeps as a structured telemetry report to this file")
+		dispatch = flag.String("dispatch", "kernels", "instruction dispatch engine: kernels (per-PC compiled at load) or switch (reference exec.Step); results are byte-identical")
 		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		lanes    = flag.Int("lanes", 0, fmt.Sprintf("max same-image simulations stepped as one lane group (0 = auto, %d; 1 = scalar); results are byte-identical at any value", pipeline.DefaultLanes))
 		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
@@ -39,11 +41,16 @@ func main() {
 		o = harness.FastOptions()
 		o.RefInputs = o.RefInputs[:1]
 	}
+	disp, err := exec.ParseDispatch(*dispatch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	es := &harness.EngineStats{}
 	o.Jobs = *jobs
 	o.Lanes = *lanes
 	o.EngineStats = es
 	o.Attr = *attrF
+	o.Dispatch = disp
 	if !*noCache && *cacheDir != "" {
 		c, err := engine.Open(*cacheDir)
 		if err != nil {

@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 
 	"vanguard/internal/engine"
+	"vanguard/internal/exec"
 	"vanguard/internal/harness"
 	"vanguard/internal/pipeline"
 	"vanguard/internal/sample"
@@ -80,6 +81,7 @@ func main() {
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a per-run counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
 		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation; -json reports gain per-run attribution sections (schema "+trace.SchemaV3+")")
 		pview     = flag.String("pipeview", "", "capture per-instruction pipeline lifetimes on the named benchmark's simulations; -json reports gain per-run pipeview sections (schema "+trace.SchemaV4+")")
+		dispatch  = flag.String("dispatch", "kernels", "instruction dispatch engine: kernels (per-PC compiled at load) or switch (reference exec.Step); results are byte-identical")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		lanes     = flag.Int("lanes", 0, fmt.Sprintf("max same-image simulations stepped as one lane group (0 = auto, %d; 1 = scalar); results are byte-identical at any value", pipeline.DefaultLanes))
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
@@ -112,12 +114,17 @@ func main() {
 	if *fast {
 		o = harness.FastOptions()
 	}
+	disp, err := exec.ParseDispatch(*dispatch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	es := &harness.EngineStats{}
 	o.Jobs = *jobs
 	o.Lanes = *lanes
 	o.EngineStats = es
 	o.SampleWindow = *sampleWin
 	o.Attr = *attrF
+	o.Dispatch = disp
 	o.PipeviewBench = *pview
 	if !*noCache && *cacheDir != "" {
 		c, err := engine.Open(*cacheDir)

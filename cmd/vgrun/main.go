@@ -30,6 +30,7 @@ import (
 	"vanguard/internal/asm"
 	"vanguard/internal/core"
 	"vanguard/internal/engine"
+	"vanguard/internal/exec"
 	"vanguard/internal/harness"
 	"vanguard/internal/interp"
 	"vanguard/internal/ir"
@@ -66,6 +67,7 @@ func main() {
 		pvEvery   = flag.Int64("pipeview-every", 0, "capture one burst of records at the start of every N-cycle window (implies -pipeview)")
 		attrDiff  = flag.Bool("attr-diff", false, "profile, decompose, and simulate the baseline and vanguard binaries with attribution on; print the CPI-stack delta and per-branch recovery table, then exit")
 		attrCSV   = flag.String("attr-csv", "", "with -attr-diff: also write PREFIX.cpistack.csv and PREFIX.branches.csv")
+		dispatch  = flag.String("dispatch", "kernels", "instruction dispatch engine: kernels (per-PC compiled at load) or switch (reference exec.Step); results are byte-identical")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		lanes     = flag.Int("lanes", 0, fmt.Sprintf("max same-image simulations stepped as one lane group (0 = auto, %d; 1 = scalar); vgrun's units are single runs over distinct binaries, so they always take the scalar fallback — the flag exists for parity with spec/ablate", pipeline.DefaultLanes))
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
@@ -81,6 +83,10 @@ func main() {
 	}
 	if *attrDiff && *transform {
 		log.Fatal("-attr-diff builds both binaries itself; drop -transform")
+	}
+	disp, err := exec.ParseDispatch(*dispatch)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -135,7 +141,7 @@ func main() {
 
 	im := ir.MustLinearize(p)
 	gm := mem.New()
-	gst, fstats, err := interp.Run(im, gm, interp.Options{MaxInstrs: *maxInstrs})
+	gst, fstats, err := interp.Run(im, gm, interp.Options{MaxInstrs: *maxInstrs, Dispatch: disp})
 	if err != nil {
 		log.Fatalf("interpret: %v", err)
 	}
@@ -167,7 +173,7 @@ func main() {
 	}
 
 	if *attrDiff {
-		runAttrDiff(p, im, gm, src, cache, mon, stopStatus, *width, *maxInstrs, *jobs, *lanes, *attrCSV)
+		runAttrDiff(p, im, gm, src, cache, mon, stopStatus, *width, *maxInstrs, *jobs, *lanes, disp, *attrCSV)
 		return
 	}
 	// Event tracing needs a live machine, so those runs bypass the cache
@@ -187,9 +193,11 @@ func main() {
 		c.EveryWindow = *pvEvery
 		pvCfg = &c
 	}
+	// v4: the dispatch engine joined the key — kernels and switch are
+	// byte-identical, but the namespace moves with the simulator core.
 	key := ""
 	if !tracing {
-		key = engine.Key("vgrun/v3", string(src), *width, *transform, *maxInstrs, *sampleWin, *attrOn, pvCfg)
+		key = engine.Key("vgrun/v4", string(src), *width, *transform, *maxInstrs, *sampleWin, *attrOn, pvCfg, disp.String())
 	}
 
 	runTiming := func(context.Context) (*pipeline.Stats, error) {
@@ -197,6 +205,7 @@ func main() {
 		cfg.SampleWindow = *sampleWin
 		cfg.Attr = *attrOn
 		cfg.Pipeview = pvCfg
+		cfg.Dispatch = disp
 		mach := pipeline.New(im, mem.New(), cfg)
 
 		// An always-on bounded ring keeps the most recent lifecycle events
@@ -333,7 +342,7 @@ func main() {
 // differential — which causes shrank, and which branches paid off.
 func runAttrDiff(p *ir.Program, baseIm *ir.Image, gm *mem.Memory, src []byte,
 	cache *engine.Cache, mon *engine.Monitor, stopStatus func(),
-	width int, maxInstrs int64, jobs, lanes int, csvPrefix string) {
+	width int, maxInstrs int64, jobs, lanes int, disp exec.Dispatch, csvPrefix string) {
 	prof, err := profile.CollectDefault(baseIm, mem.New(), maxInstrs)
 	if err != nil {
 		log.Fatalf("profile: %v", err)
@@ -349,10 +358,11 @@ func runAttrDiff(p *ir.Program, baseIm *ir.Image, gm *mem.Memory, src []byte,
 	sim := func(im *ir.Image, binary string) engine.Unit[*pipeline.Stats] {
 		return engine.Unit[*pipeline.Stats]{
 			Label: binary + "/" + flag.Arg(0),
-			Key:   engine.Key("vgrun-attrdiff/v1", string(src), width, maxInstrs, binary),
+			Key:   engine.Key("vgrun-attrdiff/v2", string(src), width, maxInstrs, binary, disp.String()),
 			Run: func(context.Context) (*pipeline.Stats, error) {
 				cfg := pipeline.DefaultConfig(width)
 				cfg.Attr = true
+				cfg.Dispatch = disp
 				mach := pipeline.New(im, mem.New(), cfg)
 				st, err := mach.Run()
 				if err != nil {

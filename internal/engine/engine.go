@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// carry; <= 1 disables batching (every unit runs through its scalar
 	// Run func).
 	Lanes int
+	// Labels, when non-empty, is an alternating key/value list of
+	// runtime/pprof labels applied to every worker goroutine (e.g.
+	// "dispatch", "kernels", "lanes", "8"), so CPU profiles attribute
+	// simulation time per execution-policy axis. A trailing odd element
+	// is ignored. Labels are observability only — they never change
+	// scheduling or results.
+	Labels []string
 }
 
 // UnitStat records how one unit executed.
@@ -296,18 +304,24 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 	start := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for t := range idx {
+			if len(tasks[t]) == 1 {
+				runUnit(tasks[t][0])
+			} else {
+				runBatch(tasks[t])
+			}
+		}
+	}
+	labeled := worker
+	if kv := cfg.Labels; len(kv) >= 2 {
+		labels := pprof.Labels(kv[:len(kv)&^1]...)
+		labeled = func() { pprof.Do(ctx, labels, func(context.Context) { worker() }) }
+	}
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range idx {
-				if len(tasks[t]) == 1 {
-					runUnit(tasks[t][0])
-				} else {
-					runBatch(tasks[t])
-				}
-			}
-		}()
+		go labeled()
 	}
 feed:
 	for t := range tasks {

@@ -279,7 +279,10 @@ func Step(st *State, ins *isa.Instr, predictTaken bool) (Result, error) {
 		}
 
 	default:
-		return res, fmt.Errorf("exec: unknown opcode %v at pc %d", ins.Op, st.PC)
+		// Name the opcode explicitly via Op.String() so the message stays
+		// a readable mnemonic (or "op(N)" for a value outside the table)
+		// even if Op's default formatting ever changes.
+		return res, fmt.Errorf("exec: unknown opcode %s at pc %d", ins.Op.String(), st.PC)
 	}
 
 	st.PC = res.NextPC

@@ -1,0 +1,591 @@
+// Kernel compilation: the predecode-time replacement for Step's 30-way
+// opcode switch. At image load every PC is compiled into a fixed
+// func(*State) (Result, error) kernel with its operands pre-resolved —
+// registers, immediates, control targets, expected outcomes and
+// poison-source sets are baked into the closure — so the simulator's
+// innermost loop makes one direct-through-pointer call per instruction
+// instead of re-decoding the instruction word through a shared,
+// megamorphic dispatch site. Step stays as the reference semantics; the
+// property tests in kernel_test.go prove every compiled kernel
+// byte-equivalent to it on state, result and error for every opcode.
+//
+// On top of per-PC kernels, CompileProgram adds straight-line fusion for
+// the functional interpreter: maximal runs of non-control, non-memory,
+// non-poison-faulting instructions (pure register ops — they cannot
+// fault, branch, or touch memory) are compiled into one fused unit of
+// work that executes the whole run with a single PC update and no
+// per-instruction Result construction. The pipeline deliberately keeps
+// per-PC kernels only: fusing would merge issue slots and change timing.
+package exec
+
+import (
+	"fmt"
+
+	"vanguard/internal/isa"
+)
+
+// Dispatch selects how the simulators execute instruction semantics.
+type Dispatch uint8
+
+const (
+	// DispatchKernels (the default) executes through per-PC compiled
+	// kernels; the functional interpreter additionally uses fused
+	// straight-line runs.
+	DispatchKernels Dispatch = iota
+	// DispatchSwitch executes through the reference Step switch.
+	DispatchSwitch
+)
+
+// String returns the CLI-facing name of the dispatch mode.
+func (d Dispatch) String() string {
+	if d == DispatchSwitch {
+		return "switch"
+	}
+	return "kernels"
+}
+
+// ParseDispatch parses a -dispatch flag value.
+func ParseDispatch(s string) (Dispatch, error) {
+	switch s {
+	case "kernels":
+		return DispatchKernels, nil
+	case "switch":
+		return DispatchSwitch, nil
+	}
+	return DispatchKernels, fmt.Errorf("unknown dispatch mode %q (want kernels or switch)", s)
+}
+
+// Kernel is one instruction's compiled semantics: calling it executes the
+// instruction exactly as Step would at its compile-time PC (including the
+// final State.PC update) and returns the same Result and error. A kernel
+// for a PREDICT instruction executes the not-taken (fall-through) choice;
+// callers steering PREDICT by a live predictor or oracle must use Step.
+type Kernel func(*State) (Result, error)
+
+// Compile compiles the instruction at pc into a Kernel. Unknown opcodes
+// are rejected here, at compile time, rather than surfacing as a step-time
+// error mid-simulation.
+func Compile(ins *isa.Instr, pc int) (Kernel, error) {
+	next := pc + 1
+	d, s1, s2 := ins.Dst, ins.Src1, ins.Src2
+	imm := ins.Imm
+	tgt := ins.Target
+
+	switch ins.Op {
+	case isa.NOP:
+		return func(st *State) (Result, error) {
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+
+	case isa.ADD:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]+st.Regs[s2], s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.SUB:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]-st.Regs[s2], s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.MUL:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]*st.Regs[s2], s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.DIV:
+		return func(st *State) (Result, error) {
+			var v int64
+			if dv := st.Regs[s2]; dv != 0 {
+				v = st.Regs[s1] / dv
+			}
+			st.set2(d, v, s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.REM:
+		return func(st *State) (Result, error) {
+			var v int64
+			if dv := st.Regs[s2]; dv != 0 {
+				v = st.Regs[s1] % dv
+			}
+			st.set2(d, v, s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.AND:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]&st.Regs[s2], s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.OR:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]|st.Regs[s2], s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.XOR:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]^st.Regs[s2], s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.SHL:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]<<(uint64(st.Regs[s2])&63), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.SHR:
+		return func(st *State) (Result, error) {
+			st.set2(d, st.Regs[s1]>>(uint64(st.Regs[s2])&63), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.ADDI:
+		return func(st *State) (Result, error) {
+			st.set1(d, st.Regs[s1]+imm, s1)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.MULI:
+		return func(st *State) (Result, error) {
+			st.set1(d, st.Regs[s1]*imm, s1)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.ANDI:
+		return func(st *State) (Result, error) {
+			st.set1(d, st.Regs[s1]&imm, s1)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.LI:
+		return func(st *State) (Result, error) {
+			st.set0(d, imm)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.MOV, isa.FMOV:
+		return func(st *State) (Result, error) {
+			st.set1(d, st.Regs[s1], s1)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+
+	case isa.CMPEQ:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.Regs[s1] == st.Regs[s2]), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.CMPNE:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.Regs[s1] != st.Regs[s2]), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.CMPLT:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.Regs[s1] < st.Regs[s2]), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.CMPLE:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.Regs[s1] <= st.Regs[s2]), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.CMPGT:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.Regs[s1] > st.Regs[s2]), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.CMPGE:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.Regs[s1] >= st.Regs[s2]), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+
+	case isa.FADD:
+		return func(st *State) (Result, error) {
+			st.set2(d, fbits(st.F(s1)+st.F(s2)), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.FSUB:
+		return func(st *State) (Result, error) {
+			st.set2(d, fbits(st.F(s1)-st.F(s2)), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.FMUL:
+		return func(st *State) (Result, error) {
+			st.set2(d, fbits(st.F(s1)*st.F(s2)), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.FDIV:
+		return func(st *State) (Result, error) {
+			st.set2(d, fbits(st.F(s1)/st.F(s2)), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.FCMPLT:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.F(s1) < st.F(s2)), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.FCMPGE:
+		return func(st *State) (Result, error) {
+			st.set2(d, b2i(st.F(s1) >= st.F(s2)), s1, s2)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.CVTIF:
+		return func(st *State) (Result, error) {
+			st.set1(d, fbits(float64(st.Regs[s1])), s1)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.CVTFI:
+		return func(st *State) (Result, error) {
+			st.set1(d, int64(st.F(s1)), s1)
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+
+	case isa.LD:
+		return func(st *State) (Result, error) {
+			if st.poison1(s1) {
+				return Result{NextPC: next}, &PoisonFault{PC: pc, Reg: s1}
+			}
+			addr := uint64(st.Regs[s1] + imm)
+			res := Result{NextPC: next, IsMem: true, MemAddr: addr}
+			v, err := st.Mem.Load(addr)
+			if err != nil {
+				return res, err
+			}
+			st.set0(d, v)
+			st.PC = next
+			return res, nil
+		}, nil
+	case isa.LDS:
+		return func(st *State) (Result, error) {
+			addr := uint64(st.Regs[s1] + imm)
+			res := Result{NextPC: next, IsMem: true, MemAddr: addr}
+			if st.poison1(s1) {
+				st.Regs[d] = 0
+				st.Poison[d] = true
+				res.SuppressedFault = true
+				st.PC = next
+				return res, nil
+			}
+			v, err := st.Mem.Load(addr)
+			if err != nil {
+				st.Regs[d] = 0
+				st.Poison[d] = true
+				res.SuppressedFault = true
+				st.PC = next
+				return res, nil
+			}
+			st.set0(d, v)
+			st.PC = next
+			return res, nil
+		}, nil
+	case isa.ST:
+		return func(st *State) (Result, error) {
+			if st.poison1(s1) {
+				return Result{NextPC: next}, &PoisonFault{PC: pc, Reg: s1}
+			}
+			if st.poison1(s2) {
+				return Result{NextPC: next}, &PoisonFault{PC: pc, Reg: s2}
+			}
+			addr := uint64(st.Regs[s1] + imm)
+			res := Result{NextPC: next, IsMem: true, MemAddr: addr}
+			if err := st.Mem.Store(addr, st.Regs[s2]); err != nil {
+				return res, err
+			}
+			st.PC = next
+			return res, nil
+		}, nil
+
+	case isa.CMOV:
+		return func(st *State) (Result, error) {
+			if st.poison1(s1) {
+				return Result{NextPC: next}, &PoisonFault{PC: pc, Reg: s1}
+			}
+			res := Result{NextPC: next, CondVal: st.Regs[s1] != 0}
+			if res.CondVal {
+				st.set1(d, st.Regs[s2], s2)
+			}
+			st.PC = next
+			return res, nil
+		}, nil
+
+	case isa.BR:
+		return func(st *State) (Result, error) {
+			if st.poison1(s1) {
+				return Result{NextPC: next}, &PoisonFault{PC: pc, Reg: s1}
+			}
+			res := Result{NextPC: next, CondVal: st.Regs[s1] != 0}
+			if res.CondVal {
+				res.Taken = true
+				res.NextPC = tgt
+			}
+			st.PC = res.NextPC
+			return res, nil
+		}, nil
+	case isa.JMP:
+		return func(st *State) (Result, error) {
+			st.PC = tgt
+			return Result{NextPC: tgt, Taken: true}, nil
+		}, nil
+	case isa.CALL:
+		link := isa.R(isa.NumIntRegs - 1)
+		ret := int64(pc + 1)
+		return func(st *State) (Result, error) {
+			st.Regs[link] = ret
+			st.Poison[link] = false
+			st.PC = tgt
+			return Result{NextPC: tgt, Taken: true}, nil
+		}, nil
+	case isa.RET:
+		return func(st *State) (Result, error) {
+			if st.poison1(s1) {
+				return Result{NextPC: next}, &PoisonFault{PC: pc, Reg: s1}
+			}
+			res := Result{NextPC: int(st.Regs[s1]), Taken: true}
+			st.PC = res.NextPC
+			return res, nil
+		}, nil
+	case isa.HALT:
+		return func(st *State) (Result, error) {
+			st.Halted = true
+			st.PC = pc
+			return Result{NextPC: pc, Halted: true}, nil
+		}, nil
+	case isa.PREDICT:
+		// Compiled as the not-taken choice (see the Kernel doc comment):
+		// the pipeline consumes PREDICT in the front end and never issues
+		// it, and the interpreter routes oracle-steered PREDICTs through
+		// Step. Program results are independent of the choice by
+		// construction of the decomposed branch transformation.
+		return func(st *State) (Result, error) {
+			st.PC = next
+			return Result{NextPC: next}, nil
+		}, nil
+	case isa.RESOLVE:
+		expect := ins.Expect
+		return func(st *State) (Result, error) {
+			if st.poison1(s1) {
+				return Result{NextPC: next}, &PoisonFault{PC: pc, Reg: s1}
+			}
+			res := Result{NextPC: next, CondVal: st.Regs[s1] != 0}
+			if res.CondVal != expect {
+				res.Taken = true
+				res.NextPC = tgt
+			}
+			st.PC = res.NextPC
+			return res, nil
+		}, nil
+	}
+
+	return nil, fmt.Errorf("exec: cannot compile unknown opcode %s at pc %d", ins.Op.String(), pc)
+}
+
+// CompileImage compiles every instruction of an image into its per-PC
+// kernel. Any unknown opcode fails the whole compilation — a program that
+// cannot execute should be rejected before the machine starts stepping.
+func CompileImage(instrs []isa.Instr) ([]Kernel, error) {
+	ks := make([]Kernel, len(instrs))
+	for pc := range instrs {
+		k, err := Compile(&instrs[pc], pc)
+		if err != nil {
+			return nil, err
+		}
+		ks[pc] = k
+	}
+	return ks, nil
+}
+
+// Fusable reports whether an opcode is legal inside a fused straight-line
+// run: it must be unable to fault (no poison consumption, no memory), to
+// transfer control, or to halt — the pure register-to-register subset of
+// the ISA. CMOV is excluded because consuming a poisoned condition is an
+// architectural fault.
+func Fusable(op isa.Op) bool {
+	switch op {
+	case isa.NOP, isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+		isa.ADDI, isa.MULI, isa.ANDI, isa.LI, isa.MOV,
+		isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FMOV,
+		isa.FCMPLT, isa.FCMPGE, isa.CVTIF, isa.CVTFI:
+		return true
+	}
+	return false
+}
+
+// CompilePure compiles a fusable instruction into its bare register
+// effect: no Result, no error, no PC update — the caller (a fused run,
+// or the pipeline issue stage fast-pathing a known-pure op) owns those.
+// Returns nil for non-fusable opcodes.
+func CompilePure(ins *isa.Instr) func(*State) {
+	d, s1, s2 := ins.Dst, ins.Src1, ins.Src2
+	imm := ins.Imm
+	switch ins.Op {
+	case isa.NOP:
+		return func(*State) {}
+	case isa.ADD:
+		return func(st *State) { st.set2(d, st.Regs[s1]+st.Regs[s2], s1, s2) }
+	case isa.SUB:
+		return func(st *State) { st.set2(d, st.Regs[s1]-st.Regs[s2], s1, s2) }
+	case isa.MUL:
+		return func(st *State) { st.set2(d, st.Regs[s1]*st.Regs[s2], s1, s2) }
+	case isa.DIV:
+		return func(st *State) {
+			var v int64
+			if dv := st.Regs[s2]; dv != 0 {
+				v = st.Regs[s1] / dv
+			}
+			st.set2(d, v, s1, s2)
+		}
+	case isa.REM:
+		return func(st *State) {
+			var v int64
+			if dv := st.Regs[s2]; dv != 0 {
+				v = st.Regs[s1] % dv
+			}
+			st.set2(d, v, s1, s2)
+		}
+	case isa.AND:
+		return func(st *State) { st.set2(d, st.Regs[s1]&st.Regs[s2], s1, s2) }
+	case isa.OR:
+		return func(st *State) { st.set2(d, st.Regs[s1]|st.Regs[s2], s1, s2) }
+	case isa.XOR:
+		return func(st *State) { st.set2(d, st.Regs[s1]^st.Regs[s2], s1, s2) }
+	case isa.SHL:
+		return func(st *State) { st.set2(d, st.Regs[s1]<<(uint64(st.Regs[s2])&63), s1, s2) }
+	case isa.SHR:
+		return func(st *State) { st.set2(d, st.Regs[s1]>>(uint64(st.Regs[s2])&63), s1, s2) }
+	case isa.ADDI:
+		return func(st *State) { st.set1(d, st.Regs[s1]+imm, s1) }
+	case isa.MULI:
+		return func(st *State) { st.set1(d, st.Regs[s1]*imm, s1) }
+	case isa.ANDI:
+		return func(st *State) { st.set1(d, st.Regs[s1]&imm, s1) }
+	case isa.LI:
+		return func(st *State) { st.set0(d, imm) }
+	case isa.MOV, isa.FMOV:
+		return func(st *State) { st.set1(d, st.Regs[s1], s1) }
+	case isa.CMPEQ:
+		return func(st *State) { st.set2(d, b2i(st.Regs[s1] == st.Regs[s2]), s1, s2) }
+	case isa.CMPNE:
+		return func(st *State) { st.set2(d, b2i(st.Regs[s1] != st.Regs[s2]), s1, s2) }
+	case isa.CMPLT:
+		return func(st *State) { st.set2(d, b2i(st.Regs[s1] < st.Regs[s2]), s1, s2) }
+	case isa.CMPLE:
+		return func(st *State) { st.set2(d, b2i(st.Regs[s1] <= st.Regs[s2]), s1, s2) }
+	case isa.CMPGT:
+		return func(st *State) { st.set2(d, b2i(st.Regs[s1] > st.Regs[s2]), s1, s2) }
+	case isa.CMPGE:
+		return func(st *State) { st.set2(d, b2i(st.Regs[s1] >= st.Regs[s2]), s1, s2) }
+	case isa.FADD:
+		return func(st *State) { st.set2(d, fbits(st.F(s1)+st.F(s2)), s1, s2) }
+	case isa.FSUB:
+		return func(st *State) { st.set2(d, fbits(st.F(s1)-st.F(s2)), s1, s2) }
+	case isa.FMUL:
+		return func(st *State) { st.set2(d, fbits(st.F(s1)*st.F(s2)), s1, s2) }
+	case isa.FDIV:
+		return func(st *State) { st.set2(d, fbits(st.F(s1)/st.F(s2)), s1, s2) }
+	case isa.FCMPLT:
+		return func(st *State) { st.set2(d, b2i(st.F(s1) < st.F(s2)), s1, s2) }
+	case isa.FCMPGE:
+		return func(st *State) { st.set2(d, b2i(st.F(s1) >= st.F(s2)), s1, s2) }
+	case isa.CVTIF:
+		return func(st *State) { st.set1(d, fbits(float64(st.Regs[s1])), s1) }
+	case isa.CVTFI:
+		return func(st *State) { st.set1(d, int64(st.F(s1)), s1) }
+	}
+	return nil
+}
+
+// Program is the fully compiled form of an image: per-PC kernels plus,
+// for every PC inside a straight-line run of fusable instructions, the
+// fused suffix of that run. Runs are keyed per PC (the suffix from that
+// PC to the run's end), so any control-flow entry point — fall-through,
+// branch target, or return address — picks up the longest fused unit
+// legal from there; a mid-run PC simply gets a shorter suffix.
+type Program struct {
+	Kernels []Kernel
+	fused   []fusedRun
+}
+
+// fusedRun is the fused suffix starting at one PC: n fusable instructions
+// executed back to back, then a single PC update to end.
+type fusedRun struct {
+	n   int32
+	end int
+	ops []func(*State)
+}
+
+// CompileProgram compiles an image into per-PC kernels and fused
+// straight-line runs. It fails on any unknown opcode.
+func CompileProgram(instrs []isa.Instr) (*Program, error) {
+	ks, err := CompileImage(instrs)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Kernels: ks, fused: make([]fusedRun, len(instrs))}
+
+	// pure[pc] is the bare effect of each fusable instruction; fused
+	// suffixes are windows over this one slice, so compiling all suffixes
+	// of a run costs one closure per covered PC, not O(n^2).
+	pure := make([]func(*State), len(instrs))
+	for pc := range instrs {
+		pure[pc] = CompilePure(&instrs[pc])
+	}
+	// Scan backward: runLen[pc] = 1 + runLen[pc+1] while fusable.
+	runLen := 0
+	for pc := len(instrs) - 1; pc >= 0; pc-- {
+		if pure[pc] == nil {
+			runLen = 0
+			continue
+		}
+		runLen++
+		// Fusing a single instruction still pays: the interpreter skips
+		// the Result construction, error check and per-op stats dispatch.
+		p.fused[pc] = fusedRun{n: int32(runLen), end: pc + runLen, ops: pure[pc : pc+runLen]}
+	}
+	return p, nil
+}
+
+// FusedLen returns the number of instructions the fused run at pc covers
+// (0 when pc has none, is out of range, or starts a non-fusable
+// instruction).
+func (p *Program) FusedLen(pc int) int {
+	if pc < 0 || pc >= len(p.fused) {
+		return 0
+	}
+	return int(p.fused[pc].n)
+}
+
+// RunFused executes the fused run at pc (FusedLen(pc) instructions) and
+// leaves st.PC at the first instruction past the run. The caller must
+// have checked FusedLen(pc) > 0.
+func (p *Program) RunFused(pc int, st *State) {
+	fr := &p.fused[pc]
+	for _, op := range fr.ops {
+		op(st)
+	}
+	st.PC = fr.end
+}

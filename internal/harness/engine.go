@@ -29,8 +29,12 @@ import (
 // lane-parallel stepping path — laned and scalar runs are proven
 // byte-identical (the lanes differential), but entries cached before the
 // lane core existed must never alias entries computed through it, so the
-// whole namespace moves.
-const harnessVersion = "harness/v4"
+// whole namespace moves. v5: simulations dispatch through predecoded
+// kernels by default and simKey gained the Dispatch field — kernels and
+// switch are proven byte-identical (the kernel-gate differential), but
+// pre-kernel entries must never alias post-kernel ones and the two modes
+// must never alias each other.
+const harnessVersion = "harness/v5"
 
 // benchJob is one (benchmark, options) experiment. The engine expands it
 // into a build unit (profile, transform, schedule — shared products) plus
@@ -104,7 +108,7 @@ func (j *benchJob) input(i int) (*inputArts, error) {
 		ia.refMem = refMem
 		if j.o.Verify {
 			goldProg, goldMem := j.c.Generate(in)
-			if _, _, err := interp.Run(ir.MustLinearize(goldProg), goldMem, interp.Options{}); err != nil {
+			if _, _, err := interp.Run(ir.MustLinearize(goldProg), goldMem, interp.Options{Dispatch: j.o.Dispatch}); err != nil {
 				ia.err = fmt.Errorf("%s: golden run: %w", j.c.Name, err)
 				return
 			}
@@ -141,7 +145,8 @@ func (j *benchJob) simKey(in workload.Input, width int, binary string) string {
 		SampleWindow int64
 		Attr         bool
 		Pipeview     bool
-	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow, j.o.Attr, j.o.PipeviewBench == j.c.Name})
+		Dispatch     string
+	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow, j.o.Attr, j.o.PipeviewBench == j.c.Name, j.o.Dispatch.String()})
 }
 
 // simImage resolves the patched program image and machine config of one
@@ -318,7 +323,8 @@ func runBenchJobs(jobs []*benchJob, o Options) ([]*BenchResult, error) {
 		return simulateBatch(group)
 	}
 	results, est, err := engine.RunBatched(context.Background(),
-		engine.Config{Jobs: o.Jobs, Cache: o.Cache, Monitor: o.Monitor, Lanes: o.laneCount()},
+		engine.Config{Jobs: o.Jobs, Cache: o.Cache, Monitor: o.Monitor, Lanes: o.laneCount(),
+			Labels: []string{"dispatch", o.Dispatch.String(), "lanes", fmt.Sprint(o.laneCount())}},
 		units, batchRun)
 	if o.EngineStats != nil {
 		o.EngineStats.add(est)

@@ -17,6 +17,7 @@ import (
 	"vanguard/internal/bpred"
 	"vanguard/internal/core"
 	"vanguard/internal/engine"
+	"vanguard/internal/exec"
 	"vanguard/internal/ir"
 	"vanguard/internal/metrics"
 	"vanguard/internal/pipeline"
@@ -80,6 +81,15 @@ type Options struct {
 	// charging every issue slot to one cause. Part of the run-cache key;
 	// attributed and plain results never alias.
 	Attr bool
+
+	// Dispatch selects the execution engine for every simulation and
+	// golden run (pipeline.Config.Dispatch / interp.Options.Dispatch):
+	// compiled per-PC kernels (the zero value and the default) or the
+	// reference exec.Step switch. The two are byte-identical on stats and
+	// reports (make kernel-gate), but Dispatch is still part of the
+	// run-cache key so an A/B sweep never serves one mode's entries to
+	// the other.
+	Dispatch exec.Dispatch
 
 	// PipeviewBench names one benchmark whose simulations run with the
 	// pipeline waterfall recorder enabled (pipeview.DefaultConfig): their
@@ -230,6 +240,7 @@ func (o *Options) machineConfig(width int) pipeline.Config {
 	cfg.NewPredictor = o.predictor
 	cfg.SampleWindow = o.SampleWindow
 	cfg.Attr = o.Attr
+	cfg.Dispatch = o.Dispatch
 	if o.DBBEntries > 0 {
 		cfg.DBBEntries = o.DBBEntries
 	}

@@ -17,6 +17,7 @@ import (
 	"vanguard/internal/attr"
 	"vanguard/internal/bpred"
 	"vanguard/internal/cache"
+	"vanguard/internal/exec"
 	"vanguard/internal/pipeview"
 	"vanguard/internal/sample"
 	"vanguard/internal/trace"
@@ -63,6 +64,15 @@ type Config struct {
 	// instructions (0 = unlimited); MaxCycles likewise.
 	MaxInstrs int64
 	MaxCycles int64
+
+	// Dispatch selects how the issue stage executes instruction
+	// semantics: exec.DispatchKernels (the zero value and the default)
+	// calls the per-PC kernel compiled at predecode, operands already
+	// resolved; exec.DispatchSwitch calls the reference exec.Step switch.
+	// The two are byte-identical on stats, telemetry and architectural
+	// results (make kernel-gate proves it); the knob exists for A/B
+	// measurement and as an escape hatch back to the reference semantics.
+	Dispatch exec.Dispatch
 
 	// Attr enables cycle attribution: every issue slot of every cycle is
 	// charged to exactly one cause (internal/attr) in preallocated flat

@@ -37,7 +37,7 @@ type LaneGroup struct {
 // mems[i] becomes lane i's architectural memory. Lane i's results are
 // identical to New(im, mems[i], cfg).Run()'s.
 func NewLaneGroup(im *ir.Image, mems []*mem.Memory, cfg Config) *LaneGroup {
-	pre := predecode(im.Instrs)
+	pre, preErr := predecode(im.Instrs)
 	geom := cfg.Hier.Geom()
 	g := &LaneGroup{
 		lanes: make([]*Machine, len(mems)),
@@ -46,6 +46,7 @@ func NewLaneGroup(im *ir.Image, mems []*mem.Memory, cfg Config) *LaneGroup {
 	}
 	for i, m := range mems {
 		g.lanes[i] = newShared(im, m, cfg, pre, geom)
+		g.lanes[i].preErr = preErr
 	}
 	return g
 }
@@ -88,6 +89,11 @@ func (g *LaneGroup) Run() ([]*Stats, []error) {
 	caps := make([]int64, len(g.lanes))
 	live := make([]int, 0, len(g.lanes))
 	for i, m := range g.lanes {
+		if err := m.compileErr(); err != nil {
+			g.errs[i] = err
+			m.finishStats()
+			continue
+		}
 		caps[i] = m.prepareRun()
 		live = append(live, i)
 	}

@@ -55,6 +55,18 @@ type fetchSpec struct {
 // isa switches per issued instruction. Built once per machine at load; the
 // image is immutable for the life of the run.
 type predecoded struct {
+	// kernel is the instruction's compiled semantics (exec.Compile): one
+	// direct-through-pointer call replaces exec.Step's megamorphic opcode
+	// switch in the issue stage. nil only for an opcode the compiler
+	// rejected; predecode surfaces that as its error and Run refuses to
+	// start under kernel dispatch (switch dispatch keeps the reference
+	// step-time fault behavior).
+	kernel exec.Kernel
+	// pure is the no-Result/no-error form of a pure register op
+	// (exec.CompilePure; nil otherwise): such an op cannot fault, touch
+	// memory, or issue a speculation point, so the issue stage skips the
+	// kernel's Result construction and error check entirely.
+	pure    func(*exec.State)
 	uses    [3]isa.Reg
 	def     isa.Reg
 	op      isa.Op
@@ -71,8 +83,15 @@ const (
 	pdSpec                    // BR, RESOLVE or RET: issues a speculation point
 )
 
-func predecode(instrs []isa.Instr) []predecoded {
+// predecode builds the per-PC table, compiling each instruction's kernel
+// along the way. The returned error is the first kernel-compile failure
+// (an unknown opcode); the table itself is still fully built — under
+// switch dispatch the machine runs it exactly as before (the bad opcode
+// faults at step time, the reference behavior), while kernel dispatch
+// refuses to start.
+func predecode(instrs []isa.Instr) ([]predecoded, error) {
 	pre := make([]predecoded, len(instrs))
+	var firstErr error
 	for pc := range instrs {
 		ins := &instrs[pc]
 		p := &pre[pc]
@@ -91,8 +110,14 @@ func predecode(instrs []isa.Instr) []predecoded {
 		if op := ins.Op; op == isa.BR || op == isa.RESOLVE || op == isa.RET {
 			p.flags |= pdSpec
 		}
+		k, err := exec.Compile(ins, pc)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.kernel = k
+		p.pure = exec.CompilePure(ins)
 	}
-	return pre
+	return pre, firstErr
 }
 
 // ---- speculation checkpoints ----
@@ -229,6 +254,13 @@ type Machine struct {
 	pre      []predecoded
 	feDelay  int64 // FrontEndDepth-1: fetched at c, issues no earlier than c+feDelay
 
+	// useKernels mirrors cfg.Dispatch == exec.DispatchKernels for the
+	// issue hot path; preErr is predecode's kernel-compile error (nil for
+	// any program made of known opcodes) and blocks Run only under kernel
+	// dispatch.
+	useKernels bool
+	preErr     error
+
 	fetchPC       int
 	fetchStall    int64
 	lastFetchLine uint64
@@ -341,7 +373,10 @@ type Machine struct {
 
 // New builds a machine over the image and memory (mutated during the run).
 func New(im *ir.Image, m *mem.Memory, cfg Config) *Machine {
-	return newShared(im, m, cfg, predecode(im.Instrs), cfg.Hier.Geom())
+	pre, preErr := predecode(im.Instrs)
+	mach := newShared(im, m, cfg, pre, cfg.Hier.Geom())
+	mach.preErr = preErr
+	return mach
 }
 
 // newShared builds a machine over caller-supplied predecode and cache
@@ -372,6 +407,7 @@ func newShared(im *ir.Image, m *mem.Memory, cfg Config, pre []predecoded, geom c
 		haltSeq:       -1,
 		pendFaultSeq:  -1,
 		repairStart:   -1,
+		useKernels:    cfg.Dispatch == exec.DispatchKernels,
 	}
 	mach.st = exec.NewState(sbView{mach}, im.Entry)
 	mach.nextException = cfg.ExceptionEveryN
@@ -643,8 +679,22 @@ func (m *Machine) cycleLimitErr(maxCycles int64) error {
 	return fmt.Errorf("pipeline: cycle limit %d reached at pc %d", maxCycles, m.fetchPC)
 }
 
+// compileErr reports the kernel-compile error that blocks this machine
+// from running, or nil. Only kernel dispatch refuses to start: switch
+// dispatch is the reference semantics and keeps the step-time fault.
+func (m *Machine) compileErr() error {
+	if m.useKernels {
+		return m.preErr
+	}
+	return nil
+}
+
 // Run simulates to HALT (or an instruction/cycle cap) and returns stats.
 func (m *Machine) Run() (*Stats, error) {
+	if err := m.compileErr(); err != nil {
+		m.finishStats()
+		return &m.stats, err
+	}
 	maxCycles := m.prepareRun()
 	for {
 		if m.now >= maxCycles {
@@ -1155,10 +1205,9 @@ func (m *Machine) issueOne(fe *fetchEntry, fs *fetchSpec, pd *predecoded) {
 		m.stats.RepairPenalty.Observe(m.now - m.repairStart)
 		m.repairStart = -1
 	}
-	ins := &m.im.Instrs[fe.pc]
 	if m.Sink != nil {
 		m.Sink.Emit(trace.Event{Kind: trace.KindIssue, Cycle: m.now,
-			Seq: fe.seq, PC: fe.pc, Ins: *ins})
+			Seq: fe.seq, PC: fe.pc, Ins: m.im.Instrs[fe.pc]})
 	}
 
 	isSpec := pd.flags&pdSpec != 0
@@ -1187,7 +1236,21 @@ func (m *Machine) issueOne(fe *fetchEntry, fs *fetchSpec, pd *predecoded) {
 
 	m.st.PC = fe.pc
 	m.curSeq = fe.seq
-	res, err := exec.Step(m.st, ins, false)
+	var res exec.Result
+	var err error
+	if m.useKernels {
+		if pd.pure != nil {
+			// Pure register op: no fault, no memory access, no
+			// speculation point — nothing downstream reads res or err,
+			// so skip the kernel's Result/error return entirely.
+			pd.pure(m.st)
+			m.st.PC = fe.pc + 1
+		} else {
+			res, err = pd.kernel(m.st)
+		}
+	} else {
+		res, err = exec.Step(m.st, &m.im.Instrs[fe.pc], false)
+	}
 	if err != nil && m.pendFaultSeq < 0 {
 		// Defer: real only if this instruction commits. Copy a sentinel
 		// Fault into stable storage so later wrong-path probes (which
