@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-all bench-diff bench-json results attr-gate staticcheck pipeview-gate lane-gate kernel-gate
+.PHONY: all build test check fmt vet race bench bench-all bench-diff bench-json results attr-gate staticcheck pipeview-gate lane-gate kernel-gate sweep-gate
 
 # Pinned staticcheck version: `go run` resolves it through the module
 # proxy, so the exact analyzer version is reproducible everywhere.
@@ -73,8 +73,19 @@ kernel-gate:
 		-run 'TestKernel|TestDispatch|TestInterpDispatch|TestCompileRejects|TestStepUnknown|TestDivRem|TestFus' \
 		./internal/exec/ ./internal/pipeline/ ./internal/interp/ ./internal/harness/
 
+# Sweep flight-recorder gate: an uncached end-to-end benchmark run with
+# the recorder attached must satisfy the span conservation invariant
+# (exactly one terminal per unit, phases nested, counters reconciled),
+# the recorder-off path must stay byte-identical and allocation-free,
+# and the monitor surface (/metrics exposition, /debug/sweep, the
+# concurrency hammer) must hold up — all under the race detector.
+sweep-gate:
+	$(GO) test -race -count 1 \
+		-run 'TestSweep|TestRecorder|TestMonitor|TestMetricsPromFormat|TestPromValidator|TestReportSchemaV5|TestWriteSweepArtifacts' \
+		./internal/engine/ ./internal/harness/ ./internal/trace/
+
 # Pre-PR gate: run this before every commit.
-check: fmt vet build staticcheck lane-gate kernel-gate race
+check: fmt vet build staticcheck lane-gate kernel-gate sweep-gate race
 
 # Attribution-conservation gate: every attributed fast-suite simulation
 # must charge exactly cycles x width issue slots (pipeline invariant

@@ -16,6 +16,7 @@ import (
 	"vanguard/internal/exec"
 	"vanguard/internal/harness"
 	"vanguard/internal/pipeline"
+	"vanguard/internal/trace"
 )
 
 func main() {
@@ -32,7 +33,9 @@ func main() {
 		cacheDir = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache  = flag.Bool("no-cache", false, "disable the on-disk run cache")
 		progress = flag.Bool("progress", false, "render a live engine status line on stderr")
-		listen   = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
+		listen   = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/sweep dashboard, /healthz, /debug/pprof")
+		sweepOut = flag.String("sweep-trace", "", "record the engine flight recording (one span per unit lifecycle phase) and write it as a "+trace.SweepSchema+" JSON artifact to this file; -json reports gain a sweep section (schema "+trace.SchemaV5+")")
+		sweepChr = flag.String("sweep-chrome", "", "record the engine flight recording and write it as a Chrome trace_event timeline (one track per worker) to this file")
 	)
 	flag.Parse()
 
@@ -62,16 +65,20 @@ func main() {
 	if *progress || *listen != "" {
 		o.Monitor = engine.NewMonitor()
 		if *listen != "" {
-			addr, err := o.Monitor.Serve(*listen)
+			addr, closeSrv, err := o.Monitor.Serve(*listen)
 			if err != nil {
 				log.Fatalf("listen: %v", err)
 			}
-			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/pprof)", addr)
+			defer closeSrv()
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)", addr)
 		}
 		if *progress {
 			stop := o.Monitor.StartStatus(os.Stderr, 0)
 			defer stop()
 		}
+	}
+	if *sweepOut != "" || *sweepChr != "" {
+		o.Recorder = engine.NewSweepRecorder()
 	}
 	names := harness.AblationBenchmarks()
 
@@ -116,10 +123,22 @@ func main() {
 	if *jsonF != "" {
 		rep := harness.AblationJSON("ablate", sweeps, order)
 		rep.Engine = es.Report()
+		if o.Recorder != nil {
+			rep.Sweep = o.Recorder.Report()
+		}
 		if err := rep.WriteFile(*jsonF); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %s", *jsonF)
+	}
+	if _, err := harness.WriteSweepArtifacts(o.Recorder, *sweepOut, *sweepChr, o.Cache); err != nil {
+		log.Fatal(err)
+	}
+	if *sweepOut != "" {
+		log.Printf("wrote %s", *sweepOut)
+	}
+	if *sweepChr != "" {
+		log.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)", *sweepChr)
 	}
 	log.Printf("engine: %s", es.Summary())
 }

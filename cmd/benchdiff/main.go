@@ -24,6 +24,11 @@
 // commits:
 //
 //	go test -bench Sim -count 3 -run '^$' . | benchdiff -json results/bench_trajectory.json -label $(git rev-parse --short HEAD) /dev/stdin
+//
+// With -plot, benchdiff renders an accumulated trajectory file as one
+// labelled sparkline per benchmark — the at-a-glance perf history:
+//
+//	benchdiff -plot results/bench_trajectory.json
 package main
 
 import (
@@ -37,6 +42,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"vanguard/internal/textplot"
 )
 
 // benchSamples holds one benchmark's per-run metric samples.
@@ -254,13 +261,73 @@ func appendTrajectory(path, label string, cur map[string]*benchSamples) error {
 	return os.Rename(tmp, path)
 }
 
+// plotTrajectory renders a trajectory file as one sparkline per
+// benchmark over the entries in recorded order, so the sim-MIPS history
+// accumulated by `make bench-json` reads at a glance.
+func plotTrajectory(w io.Writer, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(buf, &tr); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if tr.Schema != trajectorySchema {
+		return fmt.Errorf("%s: schema %q (want %s)", path, tr.Schema, trajectorySchema)
+	}
+	if len(tr.Entries) == 0 {
+		return fmt.Errorf("%s: no entries (record some with `make bench-json`)", path)
+	}
+
+	labels := make([]string, len(tr.Entries))
+	names := map[string]bool{}
+	for i, e := range tr.Entries {
+		labels[i] = e.Label
+		for n := range e.Benchmarks {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	wide := 0
+	for n := range names {
+		sorted = append(sorted, n)
+		if len(n) > wide {
+			wide = len(n)
+		}
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "sim-MIPS trajectory, %d entries: %s\n", len(tr.Entries), strings.Join(labels, " "))
+	for _, n := range sorted {
+		// A benchmark absent from an entry (added later, or renamed) just
+		// skips that point; the summary's n= count makes the gap visible.
+		xs := make([]float64, 0, len(tr.Entries))
+		for _, e := range tr.Entries {
+			if item, ok := e.Benchmarks[n]; ok {
+				xs = append(xs, item.SimMIPS)
+			}
+		}
+		textplot.Spark(w, fmt.Sprintf("  %-*s", wide, n), xs, 60)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	maxRegress := flag.Float64("max-regress", 10, "maximum tolerated sim-MIPS drop in percent")
 	jsonOut := flag.String("json", "", "append a labelled per-benchmark entry (mean sim-MIPS, allocs/op) to this trajectory file instead of diffing; takes one input file")
 	label := flag.String("label", "", "entry label for -json (conventionally the short git revision)")
+	plot := flag.String("plot", "", "render this trajectory file (see -json) as per-benchmark sim-MIPS sparklines and exit")
 	flag.Parse()
+
+	if *plot != "" {
+		if err := plotTrajectory(os.Stdout, *plot); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		if flag.NArg() != 1 {

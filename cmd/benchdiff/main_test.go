@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
 
 // mips builds a benchSamples from sim-MIPS values alone.
 func mips(xs ...float64) *benchSamples { return &benchSamples{simMIPS: xs} }
@@ -240,5 +244,97 @@ func TestAppendTrajectory(t *testing.T) {
 	}
 	if err := appendTrajectory(bad, "rev", cur); err == nil {
 		t.Error("mismatched schema accepted")
+	}
+}
+
+// writeTrajectory builds a fixed three-entry trajectory file via the
+// same appendTrajectory path -json uses, so the plot test exercises the
+// real accumulation format.
+func writeTrajectory(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "traj.json")
+	steps := []struct {
+		label string
+		w4    float64
+		w8    float64
+	}{
+		{"rev1", 10, 0}, // SimW8 lands in rev2: plots must tolerate gaps
+		{"rev2", 12, 30},
+		{"rev3", 11, 45},
+	}
+	for _, s := range steps {
+		cur := map[string]*benchSamples{
+			"BenchmarkSimW4": {simMIPS: []float64{s.w4}, allocs: []float64{100}},
+		}
+		if s.w8 > 0 {
+			cur["BenchmarkSimW8"] = &benchSamples{simMIPS: []float64{s.w8}, allocs: []float64{200}}
+		}
+		if err := appendTrajectory(path, s.label, cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// TestPlotTrajectoryGolden pins the -plot rendering byte-for-byte.
+// Regenerate with
+//
+//	go test ./cmd/benchdiff/ -run TestPlotTrajectoryGolden -update
+func TestPlotTrajectoryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := plotTrajectory(&buf, writeTrajectory(t)); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	for _, want := range []string{
+		"3 entries: rev1 rev2 rev3",
+		"BenchmarkSimW4",
+		"BenchmarkSimW8",
+		"n=3", // SimW4 has all three points
+		"n=2", // SimW8 joined at rev2
+	} {
+		if !bytes.Contains(got, []byte(want)) {
+			t.Errorf("plot missing %q:\n%s", want, got)
+		}
+	}
+
+	golden := filepath.Join("testdata", "plot_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("plot drifted from %s (regenerate with -update):\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestPlotTrajectoryErrors: missing files, foreign schemas, and empty
+// trajectories are explicit errors, not blank plots.
+func TestPlotTrajectoryErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := plotTrajectory(&buf, filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing trajectory accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := plotTrajectory(&buf, bad); err == nil {
+		t.Error("mismatched schema accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"`+trajectorySchema+`"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := plotTrajectory(&buf, empty); err == nil {
+		t.Error("entry-free trajectory accepted")
 	}
 }

@@ -87,16 +87,20 @@ func main() {
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
-		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
+		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/sweep dashboard, /healthz, /debug/pprof")
+		sweepOut  = flag.String("sweep-trace", "", "record the engine flight recording (one span per unit lifecycle phase) and write it as a "+trace.SweepSchema+" JSON artifact to this file; -json reports gain a sweep section (schema "+trace.SchemaV5+")")
+		sweepChr  = flag.String("sweep-chrome", "", "record the engine flight recording and write it as a Chrome trace_event timeline (one track per worker) to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to a file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to a file on exit")
 	)
 	flag.Parse()
 	if *schemaF {
 		// Reports carry the optional sections (and their tags) only when the
-		// producing flag is on; pipeview (v4) outranks attribution (v3)
-		// outranks sampling (v2).
+		// producing flag is on; sweep (v5) outranks pipeview (v4) outranks
+		// attribution (v3) outranks sampling (v2).
 		switch {
+		case *sweepOut != "" || *sweepChr != "":
+			fmt.Println(trace.SchemaV5)
 		case *pview != "":
 			fmt.Println(trace.SchemaV4)
 		case *attrF:
@@ -137,16 +141,20 @@ func main() {
 	if *progress || *listen != "" {
 		o.Monitor = engine.NewMonitor()
 		if *listen != "" {
-			addr, err := o.Monitor.Serve(*listen)
+			addr, closeSrv, err := o.Monitor.Serve(*listen)
 			if err != nil {
 				log.Fatalf("listen: %v", err)
 			}
-			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/pprof)", addr)
+			defer closeSrv()
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)", addr)
 		}
 		if *progress {
 			stop := o.Monitor.StartStatus(os.Stderr, 0)
 			defer stop()
 		}
+	}
+	if *sweepOut != "" || *sweepChr != "" {
+		o.Recorder = engine.NewSweepRecorder()
 	}
 
 	sc := harness.NewSuiteCache(o)
@@ -255,6 +263,9 @@ func main() {
 		}
 		rep := harness.JSONReport("spec", all)
 		rep.Engine = es.Report()
+		if o.Recorder != nil {
+			rep.Sweep = o.Recorder.Report()
+		}
 		if err := rep.WriteFile(*jsonF); err != nil {
 			log.Fatal(err)
 		}
@@ -278,6 +289,15 @@ func main() {
 	if !did {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if _, err := harness.WriteSweepArtifacts(o.Recorder, *sweepOut, *sweepChr, o.Cache); err != nil {
+		log.Fatal(err)
+	}
+	if *sweepOut != "" {
+		log.Printf("wrote %s", *sweepOut)
+	}
+	if *sweepChr != "" {
+		log.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)", *sweepChr)
 	}
 	log.Printf("engine: %s", es.Summary())
 }

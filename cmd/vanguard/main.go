@@ -34,7 +34,9 @@ func main() {
 		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause and print the baseline-vs-vanguard cycle stack, per-branch deltas, and offender tables")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
-		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
+		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/sweep dashboard, /healthz, /debug/pprof")
+		sweepOut  = flag.String("sweep-trace", "", "record the engine flight recording (one span per unit lifecycle phase) and write it as a JSON artifact to this file")
+		sweepChr  = flag.String("sweep-chrome", "", "record the engine flight recording and write it as a Chrome trace_event timeline (one track per worker) to this file")
 	)
 	flag.Parse()
 
@@ -59,16 +61,20 @@ func main() {
 	if *progress || *listen != "" {
 		o.Monitor = engine.NewMonitor()
 		if *listen != "" {
-			addr, err := o.Monitor.Serve(*listen)
+			addr, closeSrv, err := o.Monitor.Serve(*listen)
 			if err != nil {
 				log.Fatalf("listen: %v", err)
 			}
-			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/pprof)", addr)
+			defer closeSrv()
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)", addr)
 		}
 		if *progress {
 			stop := o.Monitor.StartStatus(os.Stderr, 0)
 			defer stop()
 		}
+	}
+	if *sweepOut != "" || *sweepChr != "" {
+		o.Recorder = engine.NewSweepRecorder()
 	}
 	if bpred.ByName(*predictor) == nil {
 		log.Fatalf("unknown predictor %q", *predictor)
@@ -128,5 +134,14 @@ func main() {
 			fmt.Println()
 			harness.WriteAttrDiff(os.Stdout, d, 10)
 		}
+	}
+	if _, err := harness.WriteSweepArtifacts(o.Recorder, *sweepOut, *sweepChr, o.Cache); err != nil {
+		log.Fatal(err)
+	}
+	if *sweepOut != "" {
+		log.Printf("wrote %s", *sweepOut)
+	}
+	if *sweepChr != "" {
+		log.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)", *sweepChr)
 	}
 }

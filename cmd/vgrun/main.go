@@ -54,7 +54,7 @@ func main() {
 		maxInstrs = flag.Int64("max-instrs", 50_000_000, "functional instruction cap")
 		doTrace   = flag.Bool("trace", false, "print issue/mispredict events from the timing run (historical line format)")
 		traceAll  = flag.Bool("trace-all", false, "like -trace, but print every lifecycle event (fetch, commit, squash, DBB push/pop, cache misses, faults)")
-		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+"; "+trace.SchemaV2+" when sampling is on, "+trace.SchemaV3+" with -attr, "+trace.SchemaV4+" with -pipeview) to this file")
+		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+"; "+trace.SchemaV2+" when sampling is on, "+trace.SchemaV3+" with -attr, "+trace.SchemaV4+" with -pipeview, "+trace.SchemaV5+" with -sweep-trace) to this file")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace_event timeline (open in chrome://tracing or ui.perfetto.dev) to this file")
 		noHists   = flag.Bool("no-hists", false, "suppress the ASCII histograms in the text report")
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
@@ -73,7 +73,9 @@ func main() {
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
-		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/pprof")
+		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/sweep dashboard, /healthz, /debug/pprof")
+		sweepOut  = flag.String("sweep-trace", "", "record the engine flight recording (one span per unit lifecycle phase) and write it as a "+trace.SweepSchema+" JSON artifact to this file")
+		sweepChr  = flag.String("sweep-chrome", "", "record the engine flight recording and write it as a Chrome trace_event timeline (one track per worker; open in chrome://tracing or ui.perfetto.dev) to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to a file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to a file on exit")
 	)
@@ -160,12 +162,17 @@ func main() {
 	if *progress || *listen != "" {
 		mon = engine.NewMonitor()
 		if *listen != "" {
-			addr, err := mon.Serve(*listen)
+			addr, closeSrv, err := mon.Serve(*listen)
 			if err != nil {
 				log.Fatalf("listen: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "monitor listening on http://%s (/progress, /metrics, /debug/pprof)\n", addr)
+			defer closeSrv()
+			fmt.Fprintf(os.Stderr, "monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)\n", addr)
 		}
+	}
+	var recorder *engine.SweepRecorder
+	if *sweepOut != "" || *sweepChr != "" {
+		recorder = engine.NewSweepRecorder()
 	}
 	var stopStatus func()
 	if *progress {
@@ -173,7 +180,7 @@ func main() {
 	}
 
 	if *attrDiff {
-		runAttrDiff(p, im, gm, src, cache, mon, stopStatus, *width, *maxInstrs, *jobs, *lanes, disp, *attrCSV)
+		runAttrDiff(p, im, gm, src, cache, mon, recorder, stopStatus, *width, *maxInstrs, *jobs, *lanes, disp, *attrCSV, *sweepOut, *sweepChr)
 		return
 	}
 	// Event tracing needs a live machine, so those runs bypass the cache
@@ -245,13 +252,23 @@ func main() {
 	}
 
 	results, est, err := engine.Run(context.Background(),
-		engine.Config{Jobs: *jobs, Cache: cache, Monitor: mon, Lanes: *lanes},
+		engine.Config{Jobs: *jobs, Cache: cache, Monitor: mon, Lanes: *lanes, Recorder: recorder},
 		[]engine.Unit[*pipeline.Stats]{{Label: "timing/" + flag.Arg(0), Key: key, Run: runTiming}})
 	if stopStatus != nil {
 		stopStatus()
 	}
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
+	}
+	sweep, err := harness.WriteSweepArtifacts(recorder, *sweepOut, *sweepChr, cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *sweepOut != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *sweepOut)
+	}
+	if *sweepChr != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *sweepChr)
 	}
 	st := results[0]
 	if est.Units[0].CacheHit {
@@ -329,6 +346,7 @@ func main() {
 			CacheMisses: est.CacheMisses,
 			WallMS:      est.Wall.Seconds() * 1000,
 		}
+		report.Sweep = sweep
 		if err := report.WriteFile(*jsonOut); err != nil {
 			log.Fatalf("json report: %v", err)
 		}
@@ -341,8 +359,8 @@ func main() {
 // attribution on as engine units (cached, monitored), and render the
 // differential — which causes shrank, and which branches paid off.
 func runAttrDiff(p *ir.Program, baseIm *ir.Image, gm *mem.Memory, src []byte,
-	cache *engine.Cache, mon *engine.Monitor, stopStatus func(),
-	width int, maxInstrs int64, jobs, lanes int, disp exec.Dispatch, csvPrefix string) {
+	cache *engine.Cache, mon *engine.Monitor, recorder *engine.SweepRecorder, stopStatus func(),
+	width int, maxInstrs int64, jobs, lanes int, disp exec.Dispatch, csvPrefix, sweepOut, sweepChr string) {
 	prof, err := profile.CollectDefault(baseIm, mem.New(), maxInstrs)
 	if err != nil {
 		log.Fatalf("profile: %v", err)
@@ -376,13 +394,16 @@ func runAttrDiff(p *ir.Program, baseIm *ir.Image, gm *mem.Memory, src []byte,
 		}
 	}
 	results, _, err := engine.Run(context.Background(),
-		engine.Config{Jobs: jobs, Cache: cache, Monitor: mon, Lanes: lanes},
+		engine.Config{Jobs: jobs, Cache: cache, Monitor: mon, Lanes: lanes, Recorder: recorder},
 		[]engine.Unit[*pipeline.Stats]{sim(baseIm, "base"), sim(expIm, "exp")})
 	if stopStatus != nil {
 		stopStatus()
 	}
 	if err != nil {
 		log.Fatalf("simulate: %v", err)
+	}
+	if _, err := harness.WriteSweepArtifacts(recorder, sweepOut, sweepChr, cache); err != nil {
+		log.Fatal(err)
 	}
 	d := &harness.AttrDiff{
 		Benchmark: flag.Arg(0), Width: width,

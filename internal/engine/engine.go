@@ -18,6 +18,8 @@ import (
 	"runtime/pprof"
 	"sync"
 	"time"
+
+	"vanguard/internal/trace"
 )
 
 // Unit is one schedulable piece of work producing a T.
@@ -65,6 +67,11 @@ type Config struct {
 	// is ignored. Labels are observability only — they never change
 	// scheduling or results.
 	Labels []string
+	// Recorder, when non-nil, receives one span per unit lifecycle phase
+	// (the sweep flight recording; see SweepRecorder). Like Monitor it is
+	// observability only, may span several Run calls, and costs nothing
+	// when nil.
+	Recorder *SweepRecorder
 }
 
 // UnitStat records how one unit executed.
@@ -161,6 +168,11 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 	if cfg.Monitor != nil {
 		cfg.Monitor.addRun(len(units), jobs)
 	}
+	rec := cfg.Recorder
+	base := 0
+	if rec != nil {
+		base = recorderAddRun(rec, units, tasks, jobs, lanes)
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -182,12 +194,15 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 		cancel()
 	}
 
-	runUnit := func(i int) {
+	runUnit := func(wid, i int) {
 		u := units[i]
 		t0 := time.Now()
 		slot := -1
 		if cfg.Monitor != nil {
 			slot = cfg.Monitor.beginUnit(u.Label)
+		}
+		if rec != nil {
+			rec.dequeue(base+i, wid)
 		}
 		done := func(hit, failed bool) {
 			wall := time.Since(t0)
@@ -198,26 +213,49 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 		}
 		cacheable := cfg.Cache != nil && u.Key != ""
 		if cacheable {
+			var p0 time.Duration
+			if rec != nil {
+				p0 = rec.since()
+			}
+			hit := false
 			if data, ok := cfg.Cache.Get(u.Key); ok {
 				var v T
 				if err := json.Unmarshal(data, &v); err == nil {
 					results[i] = v
-					mu.Lock()
-					hits++
-					mu.Unlock()
-					done(true, false)
-					return
+					hit = true
 				}
 				// A corrupt entry is treated as a miss and recomputed.
 			}
+			if rec != nil {
+				rec.probe(base+i, p0, hit)
+			}
+			if hit {
+				mu.Lock()
+				hits++
+				mu.Unlock()
+				if rec != nil {
+					rec.finish(base+i, trace.SweepRetire, 0)
+				}
+				done(true, false)
+				return
+			}
 		}
 		if ctx.Err() != nil {
+			if rec != nil {
+				rec.finish(base+i, trace.SweepCancel, 0)
+			}
 			done(false, false)
 			return
+		}
+		if rec != nil {
+			rec.computeStart(base + i)
 		}
 		v, err := u.Run(ctx)
 		if err != nil {
 			fail(i, fmt.Errorf("%s: %w", u.Label, err))
+			if rec != nil {
+				rec.finish(base+i, trace.SweepFail, 1)
+			}
 			done(false, true)
 			return
 		}
@@ -230,19 +268,25 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 			misses++
 			mu.Unlock()
 		}
+		if rec != nil {
+			rec.finish(base+i, trace.SweepRetire, 1)
+		}
 		done(false, false)
 	}
 
 	// runBatch executes one multi-unit task: serve per-unit cache hits,
 	// hand the remainder to batchRun in one call, then attribute results,
 	// errors, and cache writes back to each unit.
-	runBatch := func(idxs []int) {
+	runBatch := func(wid int, idxs []int) {
 		t0 := time.Now()
 		slots := make([]int, len(idxs))
 		for j, i := range idxs {
 			slots[j] = -1
 			if cfg.Monitor != nil {
 				slots[j] = cfg.Monitor.beginUnit(units[i].Label)
+			}
+			if rec != nil {
+				rec.dequeue(base+i, wid)
 			}
 		}
 		done := func(j, i int, hit, failed bool) {
@@ -257,16 +301,30 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 		for j, i := range idxs {
 			u := &units[i]
 			if cfg.Cache != nil && u.Key != "" {
+				var p0 time.Duration
+				if rec != nil {
+					p0 = rec.since()
+				}
+				hit := false
 				if data, ok := cfg.Cache.Get(u.Key); ok {
 					var v T
 					if err := json.Unmarshal(data, &v); err == nil {
 						results[i] = v
-						mu.Lock()
-						hits++
-						mu.Unlock()
-						done(j, i, true, false)
-						continue
+						hit = true
 					}
+				}
+				if rec != nil {
+					rec.probe(base+i, p0, hit)
+				}
+				if hit {
+					mu.Lock()
+					hits++
+					mu.Unlock()
+					if rec != nil {
+						rec.finish(base+i, trace.SweepRetire, 0)
+					}
+					done(j, i, true, false)
+					continue
 				}
 			}
 			need = append(need, i)
@@ -277,14 +335,25 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 		}
 		if ctx.Err() != nil {
 			for j, i := range need {
+				if rec != nil {
+					rec.finish(base+i, trace.SweepCancel, 0)
+				}
 				done(needSlot[j], i, false, false)
 			}
 			return
+		}
+		if rec != nil {
+			for _, i := range need {
+				rec.computeStart(base + i)
+			}
 		}
 		vs, errs := batchRun(ctx, need)
 		for j, i := range need {
 			if errs[j] != nil {
 				fail(i, fmt.Errorf("%s: %w", units[i].Label, errs[j]))
+				if rec != nil {
+					rec.finish(base+i, trace.SweepFail, len(need))
+				}
 				done(needSlot[j], i, false, true)
 				continue
 			}
@@ -297,6 +366,9 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 				misses++
 				mu.Unlock()
 			}
+			if rec != nil {
+				rec.finish(base+i, trace.SweepRetire, len(need))
+			}
 			done(needSlot[j], i, false, false)
 		}
 	}
@@ -304,24 +376,24 @@ func RunBatched[T any](ctx context.Context, cfg Config, units []Unit[T],
 	start := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	worker := func() {
+	worker := func(wid int) {
 		defer wg.Done()
 		for t := range idx {
 			if len(tasks[t]) == 1 {
-				runUnit(tasks[t][0])
+				runUnit(wid, tasks[t][0])
 			} else {
-				runBatch(tasks[t])
+				runBatch(wid, tasks[t])
 			}
 		}
 	}
 	labeled := worker
 	if kv := cfg.Labels; len(kv) >= 2 {
 		labels := pprof.Labels(kv[:len(kv)&^1]...)
-		labeled = func() { pprof.Do(ctx, labels, func(context.Context) { worker() }) }
+		labeled = func(wid int) { pprof.Do(ctx, labels, func(context.Context) { worker(wid) }) }
 	}
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go labeled()
+		go labeled(w)
 	}
 feed:
 	for t := range tasks {
@@ -333,6 +405,9 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
+	if rec != nil {
+		rec.finishRun(base, len(units))
+	}
 
 	st.Wall = time.Since(start)
 	st.CacheHits, st.CacheMisses = hits, misses

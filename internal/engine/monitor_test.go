@@ -206,6 +206,152 @@ func TestMonitorStatusLineAndETA(t *testing.T) {
 	}
 }
 
+// TestMonitorServeClose pins the Serve contract: the returned close
+// function shuts the server down and releases the listener (Serve used
+// to leak both for the life of the process), and /healthz answers while
+// the server is up.
+func TestMonitorServeClose(t *testing.T) {
+	mon := NewMonitor()
+	addr, closeSrv, err := mon.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := getBody(t, "http://"+addr+"/healthz"); body != "ok\n" {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+	if err := closeSrv(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still answering after close")
+	}
+	// The port is free again: a second monitor can bind it.
+	addr2, closeSrv2, err := mon.Serve(addr)
+	if err != nil {
+		t.Fatalf("rebind %s after close: %v", addr, err)
+	}
+	if addr2 != addr {
+		t.Errorf("rebound to %s, want %s", addr2, addr)
+	}
+	closeSrv2()
+}
+
+// TestMonitorHammer races every mutating and reading entry point under
+// the race detector and then asserts counter conservation: everything
+// begun was ended exactly once, and done partitions into failed + hits +
+// computed (the latency histogram's count).
+func TestMonitorHammer(t *testing.T) {
+	mon := NewMonitor()
+	const workers, perWorker = 8, 200
+	mon.addRun(workers*perWorker, workers)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = mon.Snapshot()
+					_ = mon.StatusLine()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				slot := mon.beginUnit(fmt.Sprintf("w%d-%d", g, i))
+				mon.ObserveAttr(map[string]int64{"base": 2, "br_mispredict": 1})
+				switch i % 4 {
+				case 0:
+					mon.endUnit(slot, time.Microsecond, false, true) // failed
+				case 1:
+					mon.endUnit(slot, time.Microsecond, true, false) // cache hit
+				default:
+					mon.endUnit(slot, time.Microsecond, false, false) // computed
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	p := mon.Snapshot()
+	const total = workers * perWorker
+	if p.Total != total || p.Done != total {
+		t.Fatalf("done/total = %d/%d, want %d/%d", p.Done, p.Total, total, total)
+	}
+	wantFailed, wantHits := total/4, total/4
+	computed := total - wantFailed - wantHits
+	if p.Failed != wantFailed {
+		t.Errorf("failed = %d, want %d", p.Failed, wantFailed)
+	}
+	if p.CacheHits != wantHits {
+		t.Errorf("cache hits = %d, want %d", p.CacheHits, wantHits)
+	}
+	// Everything not served from cache is a miss, including failures.
+	if p.CacheMisses != total-wantHits {
+		t.Errorf("cache misses = %d, want %d", p.CacheMisses, total-wantHits)
+	}
+	if p.UnitLatencyUS == nil || p.UnitLatencyUS.Count != int64(computed) {
+		t.Errorf("latency histogram count = %+v, want %d computed units", p.UnitLatencyUS, computed)
+	}
+	if len(p.Workers) != 0 || p.QueueDepth != 0 {
+		t.Errorf("post-run active=%d queue=%d, want 0/0", len(p.Workers), p.QueueDepth)
+	}
+	if p.BusyRatio < 0 || p.BusyRatio > 1 {
+		t.Errorf("busy ratio = %v outside [0,1]", p.BusyRatio)
+	}
+	if causes, slots := mon.attrSnapshot(); slots["base"] != 2*total || slots["br_mispredict"] != int64(total) {
+		t.Errorf("attr counters = %v %v, want base=%d br_mispredict=%d", causes, slots, 2*total, total)
+	}
+}
+
+// TestSweepDashboard drives /debug/sweep against a seeded monitor: the
+// page renders occupancy bars for active units, the hit-rate, and the
+// latency histogram without needing any client-side script.
+func TestSweepDashboard(t *testing.T) {
+	mon := NewMonitor()
+	mon.addRun(10, 4)
+	slot := mon.beginUnit("done-unit")
+	mon.endUnit(slot, 3*time.Millisecond, false, false) // computed
+	slot = mon.beginUnit("hit-unit")
+	mon.endUnit(slot, time.Millisecond, true, false) // cache hit
+	mon.beginUnit("live-unit")                       // stays active
+
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+	body := getBody(t, srv.URL+"/debug/sweep")
+	for _, want := range []string{
+		"vanguard sweep",
+		"2/10 units done",
+		"50% cache hit-rate", // 1 hit / 2 probes
+		"live-unit",          // the occupancy bar row
+		"class=\"bar\"",
+		"unit latency",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/sweep missing %q:\n%s", want, body)
+		}
+	}
+	// The idle dashboard renders too (no units, no division by zero).
+	empty := httptest.NewServer(NewMonitor().Handler())
+	defer empty.Close()
+	if body := getBody(t, empty.URL+"/debug/sweep"); !strings.Contains(body, "(idle)") {
+		t.Errorf("idle dashboard missing placeholder:\n%s", body)
+	}
+}
+
 // syncBuffer is a strings.Builder safe for the status goroutine + test.
 type syncBuffer struct {
 	mu sync.Mutex

@@ -19,11 +19,37 @@ var (
 // and label keys must be legal, label values must close their quotes
 // with only valid escapes (\\, \", \n) inside, every metric family must
 // carry HELP and TYPE lines before its first sample, and no series
-// (name plus exact label set) may appear twice.
+// (name plus exact label set) may appear twice. Suffix consistency is
+// enforced too: _bucket/_sum/_count samples must resolve to a declared
+// histogram (or _sum/_count to a summary), _bucket series must carry an
+// le label, and any family named *_total must be declared a counter.
 func validatePromText(text string) error {
 	helped := map[string]bool{}
-	typed := map[string]bool{}
+	typed := map[string]string{}
 	seen := map[string]bool{}
+	// family resolves a sample name to its declared metric family:
+	// the name itself, or — for histogram/summary component samples —
+	// the base name with the _bucket/_sum/_count suffix stripped.
+	family := func(name string) string {
+		if typed[name] != "" || helped[name] {
+			return name
+		}
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(name, suf)
+			if !ok {
+				continue
+			}
+			switch typed[base] {
+			case "histogram":
+				return base
+			case "summary":
+				if suf != "_bucket" {
+					return base
+				}
+			}
+		}
+		return name
+	}
 	for ln, line := range strings.Split(text, "\n") {
 		if line == "" {
 			continue
@@ -42,7 +68,7 @@ func validatePromText(text string) error {
 			default:
 				return fmt.Errorf("line %d: unknown metric type %q", ln+1, f[1])
 			}
-			typed[f[0]] = true
+			typed[f[0]] = f[1]
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -56,11 +82,22 @@ func validatePromText(text string) error {
 		if !promMetricRe.MatchString(name) {
 			return fmt.Errorf("line %d: bad metric name %q", ln+1, name)
 		}
-		if !helped[name] {
+		fam := family(name)
+		if !helped[fam] {
 			return fmt.Errorf("line %d: %s sampled before its # HELP line", ln+1, name)
 		}
-		if !typed[name] {
+		typ := typed[fam]
+		if typ == "" {
 			return fmt.Errorf("line %d: %s sampled before its # TYPE line", ln+1, name)
+		}
+		if strings.HasSuffix(fam, "_total") && typ != "counter" {
+			return fmt.Errorf("line %d: %s is suffixed _total but declared %s, want counter", ln+1, fam, typ)
+		}
+		if typ == "histogram" && fam == name {
+			return fmt.Errorf("line %d: histogram %s sampled without a _bucket/_sum/_count suffix", ln+1, name)
+		}
+		if strings.HasSuffix(name, "_bucket") && fam != name && !strings.Contains(labels, `le="`) {
+			return fmt.Errorf("line %d: histogram bucket %s has no le label", ln+1, name)
 		}
 		if !promValueRe.MatchString(value) {
 			return fmt.Errorf("line %d: bad sample value %q", ln+1, value)
@@ -72,7 +109,7 @@ func validatePromText(text string) error {
 		seen[series] = true
 	}
 	for name := range helped {
-		if !typed[name] {
+		if typed[name] == "" {
 			return fmt.Errorf("%s has HELP but no TYPE", name)
 		}
 	}
@@ -150,13 +187,19 @@ func TestPromValidatorRejectsMalformed(t *testing.T) {
 		"# HELP x y\n# TYPE x widget\nx 1\n",
 		"# HELP x y\n# TYPE x gauge\nx{k=\"bad\\q\"} 1\n", // bad escape
 		"# HELP x y\n# TYPE x gauge\nx notanumber\n",
+		"# HELP x_total y\n# TYPE x_total gauge\nx_total 1\n",     // _total must be a counter
+		"# HELP h w\n# TYPE h histogram\nh 1\n",                   // histogram sampled bare
+		"# HELP h w\n# TYPE h histogram\nh_bucket{k=\"v\"} 1\n",   // bucket without le
+		"h_bucket{le=\"+Inf\"} 1\n",                               // bucket with no declared family
+		"# HELP h w\n# TYPE h summary\nh_bucket{le=\"+Inf\"} 1\n", // _bucket on a summary
 	}
 	for _, text := range bad {
 		if err := validatePromText(text); err == nil {
 			t.Errorf("validator accepted malformed exposition:\n%s", text)
 		}
 	}
-	good := "# HELP x y\n# TYPE x counter\nx{k=\"a\\\"b\\\\c\\nd\"} 1\nx{k=\"other\"} 2.5\nx 3\n"
+	good := "# HELP x y\n# TYPE x counter\nx{k=\"a\\\"b\\\\c\\nd\"} 1\nx{k=\"other\"} 2.5\nx 3\n" +
+		"# HELP h w\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.3\nh_count 2\n"
 	if err := validatePromText(good); err != nil {
 		t.Errorf("validator rejected well-formed exposition: %v\n%s", err, good)
 	}

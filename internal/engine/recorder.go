@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"vanguard/internal/trace"
+)
+
+// SweepRecorder is the engine flight recorder: when attached via
+// Config.Recorder it captures one span per unit lifecycle phase
+// (enqueued → dequeued → cache probe → compute → terminal) plus
+// lane-group formation records, and renders them as a
+// trace.SweepReport. One recorder may span several engine runs (a CLI
+// invocation enqueues unit sets as it goes); unit indexes are global
+// across runs in enumeration order, so the span ordering of a recording
+// is deterministic even though wall times vary.
+//
+// All hook methods are safe for concurrent use by the worker pool. A nil
+// recorder costs the engine one pointer test per hook site and nothing
+// else — the contract TestRecorderOffByteIdentical and
+// TestRecorderOffZeroAlloc pin.
+type SweepRecorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	workers int
+	units   []unitRec
+	groups  []trace.SweepGroup
+}
+
+// unitRec is the mutable per-unit lifecycle record; all times are
+// offsets from the recorder's creation.
+type unitRec struct {
+	label, key, batch string
+	enq               time.Duration
+	deq               time.Duration
+	probeStart        time.Duration
+	probeEnd          time.Duration
+	runStart          time.Duration
+	end               time.Duration
+	worker            int // -1 until dequeued
+	probed            bool
+	hit               bool
+	ran               bool
+	outcome           string
+	width             int
+}
+
+// NewSweepRecorder returns an empty recorder; its creation instant is
+// the zero of every recorded timestamp.
+func NewSweepRecorder() *SweepRecorder {
+	return &SweepRecorder{start: time.Now()}
+}
+
+// since is the recorder clock: elapsed time since creation. start is
+// immutable, so reading the clock takes no lock.
+func (r *SweepRecorder) since() time.Duration { return time.Since(r.start) }
+
+// recorderAddRun registers one engine run's units (all enqueued now) and
+// its scheduling tasks as group records, returning the global base index
+// of the run's unit 0. Generic because it reads Unit[T] metadata; a
+// method cannot be.
+func recorderAddRun[T any](r *SweepRecorder, units []Unit[T], tasks [][]int, jobs, lanes int) int {
+	now := r.since()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base := len(r.units)
+	for i := range units {
+		r.units = append(r.units, unitRec{
+			label:  units[i].Label,
+			key:    units[i].Key,
+			batch:  units[i].BatchKey,
+			enq:    now,
+			worker: -1,
+		})
+	}
+	if jobs > r.workers {
+		r.workers = jobs
+	}
+	for _, t := range tasks {
+		g := trace.SweepGroup{
+			BatchKey: units[t[0]].BatchKey,
+			Width:    len(t),
+			Units:    make([]int, len(t)),
+		}
+		for j, i := range t {
+			g.Units[j] = base + i
+		}
+		if len(t) == 1 {
+			switch {
+			case g.BatchKey == "":
+				g.ScalarReason = "no-batch-key"
+			case lanes <= 1:
+				g.ScalarReason = "lanes-off"
+			default:
+				g.ScalarReason = "singleton"
+			}
+		}
+		r.groups = append(r.groups, g)
+	}
+	return base
+}
+
+// dequeue marks unit u (global index) leaving the queue onto worker wid.
+func (r *SweepRecorder) dequeue(u, wid int) {
+	now := r.since()
+	r.mu.Lock()
+	rec := &r.units[u]
+	rec.deq = now
+	rec.worker = wid
+	r.mu.Unlock()
+}
+
+// probe records the unit's cache probe: it began at start (on the
+// recorder clock) and resolved now as a hit or a miss.
+func (r *SweepRecorder) probe(u int, start time.Duration, hit bool) {
+	now := r.since()
+	r.mu.Lock()
+	rec := &r.units[u]
+	rec.probed = true
+	rec.hit = hit
+	rec.probeStart = start
+	rec.probeEnd = now
+	r.mu.Unlock()
+}
+
+// computeStart marks the unit entering its build/sim compute phase.
+func (r *SweepRecorder) computeStart(u int) {
+	now := r.since()
+	r.mu.Lock()
+	rec := &r.units[u]
+	rec.ran = true
+	rec.runStart = now
+	r.mu.Unlock()
+}
+
+// finish records the unit's terminal outcome. width is the lane-group
+// width the unit computed at (1 = scalar, 0 = never computed).
+func (r *SweepRecorder) finish(u int, outcome string, width int) {
+	now := r.since()
+	r.mu.Lock()
+	rec := &r.units[u]
+	rec.outcome = outcome
+	rec.width = width
+	rec.end = now
+	r.mu.Unlock()
+}
+
+// finishRun closes out one engine run: units [base, base+n) still
+// without a terminal outcome were drained by a sibling failure and
+// cancel now, so every enqueued unit ends with exactly one terminal —
+// the conservation invariant trace.SweepReport.Check enforces.
+func (r *SweepRecorder) finishRun(base, n int) {
+	now := r.since()
+	r.mu.Lock()
+	for u := base; u < base+n; u++ {
+		rec := &r.units[u]
+		if rec.outcome == "" {
+			rec.outcome = trace.SweepCancel
+			rec.end = now
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Report renders the recording as a trace.SweepReport: spans in unit
+// enumeration order with a fixed phase order (unit, queue, probe,
+// compute) per unit, queue-delay and unit-latency histograms, and the
+// wasted-work total (compute time of failed units plus queue residency
+// of cancelled units). Span boundaries quantize to microseconds through
+// a single monotonic floor, so the nesting invariant survives rounding.
+func (r *SweepRecorder) Report() *trace.SweepReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	us := func(d time.Duration) int64 { return int64(d / time.Microsecond) }
+	s := &trace.SweepReport{
+		Schema:      trace.SweepSchema,
+		Workers:     r.workers,
+		Units:       len(r.units),
+		QueueDelay:  &trace.Hist{},
+		UnitLatency: &trace.Hist{},
+	}
+	for u := range r.units {
+		rec := &r.units[u]
+		end := rec.end
+		outcome := rec.outcome
+		if outcome == "" {
+			// Report taken mid-run: charge the unit as cancelled-at-now so
+			// the recording still satisfies Check.
+			outcome = trace.SweepCancel
+			end = r.since()
+		}
+		if us(end) > s.WallUS {
+			s.WallUS = us(end)
+		}
+		s.Spans = append(s.Spans, trace.SweepSpan{
+			Unit: u, Label: rec.label, Phase: trace.SweepPhaseUnit,
+			Worker: rec.worker, StartUS: us(rec.enq), DurUS: us(end) - us(rec.enq),
+			Outcome: outcome, Key: rec.key,
+		})
+		deq := rec.deq
+		if rec.worker < 0 {
+			deq = end // never dequeued: queued for its whole life
+		}
+		qw := us(deq) - us(rec.enq)
+		s.QueueWaitUS += qw
+		s.QueueDelay.Observe(qw)
+		s.Spans = append(s.Spans, trace.SweepSpan{
+			Unit: u, Label: rec.label, Phase: trace.SweepPhaseQueue,
+			Worker: -1, StartUS: us(rec.enq), DurUS: qw,
+		})
+		switch outcome {
+		case trace.SweepFail:
+			s.Failed++
+		case trace.SweepCancel:
+			s.Cancelled++
+			s.WastedUS += qw
+		}
+		if rec.probed {
+			po := trace.SweepMiss
+			if rec.hit {
+				po = trace.SweepHit
+				s.CacheHits++
+			} else {
+				s.CacheMisses++
+			}
+			s.Spans = append(s.Spans, trace.SweepSpan{
+				Unit: u, Label: rec.label, Phase: trace.SweepPhaseProbe,
+				Worker: rec.worker, StartUS: us(rec.probeStart),
+				DurUS: us(rec.probeEnd) - us(rec.probeStart), Outcome: po,
+			})
+		}
+		if rec.ran {
+			cw := us(end) - us(rec.runStart)
+			s.Spans = append(s.Spans, trace.SweepSpan{
+				Unit: u, Label: rec.label, Phase: trace.SweepPhaseCompute,
+				Worker: rec.worker, StartUS: us(rec.runStart), DurUS: cw,
+				Batch: rec.batch, Width: rec.width,
+			})
+			switch outcome {
+			case trace.SweepRetire:
+				s.UnitLatency.Observe(cw)
+			case trace.SweepFail:
+				s.WastedUS += cw
+			}
+		}
+	}
+	s.Groups = append([]trace.SweepGroup(nil), r.groups...)
+	return s
+}

@@ -324,7 +324,8 @@ func runBenchJobs(jobs []*benchJob, o Options) ([]*BenchResult, error) {
 	}
 	results, est, err := engine.RunBatched(context.Background(),
 		engine.Config{Jobs: o.Jobs, Cache: o.Cache, Monitor: o.Monitor, Lanes: o.laneCount(),
-			Labels: []string{"dispatch", o.Dispatch.String(), "lanes", fmt.Sprint(o.laneCount())}},
+			Recorder: o.Recorder,
+			Labels:   []string{"dispatch", o.Dispatch.String(), "lanes", fmt.Sprint(o.laneCount())}},
 		units, batchRun)
 	if o.EngineStats != nil {
 		o.EngineStats.add(est)

@@ -69,6 +69,12 @@ type Options struct {
 	// engine run this options value drives (the -progress / -listen
 	// observability surface).
 	Monitor *engine.Monitor
+	// Recorder, when non-nil, captures the sweep flight recording — one
+	// span per unit lifecycle phase — across every engine run this
+	// options value drives (the -sweep-trace observability surface). Like
+	// Monitor it is pure observability: it never changes scheduling,
+	// results, or run-cache keys.
+	Recorder *engine.SweepRecorder
 
 	// SampleWindow enables the pipeline's cycle-window time-series
 	// sampler on every simulation (pipeline.Config.SampleWindow). It is

@@ -40,20 +40,58 @@ var chromeLaneNames = map[int]string{
 	laneFault:   "fault",
 }
 
-// NewChrome builds a Chrome trace sink over w, writing the header and
-// lane-name metadata immediately. If w is also an io.Closer (a file),
-// Close closes it after the footer.
-func NewChrome(w io.Writer) *Chrome {
+// newChromeWriter opens the JSON envelope over w without emitting any
+// metadata — the shared base of the pipeline sink (NewChrome) and the
+// free-form span writer (NewChromeSpans).
+func newChromeWriter(w io.Writer) *Chrome {
 	c := &Chrome{w: bufio.NewWriterSize(w, 1<<16), first: true}
 	if cl, ok := w.(io.Closer); ok {
 		c.c = cl
 	}
 	c.raw(`{"traceEvents":[`)
+	return c
+}
+
+// NewChrome builds a Chrome trace sink over w, writing the header and
+// lane-name metadata immediately. If w is also an io.Closer (a file),
+// Close closes it after the footer.
+func NewChrome(w io.Writer) *Chrome {
+	c := newChromeWriter(w)
 	c.meta("process_name", chromePid, 0, "vanguard")
 	for tid := laneFetch; tid <= laneFault; tid++ {
 		c.meta("thread_name", chromePid, tid, chromeLaneNames[tid])
 	}
 	return c
+}
+
+// NewChromeSpans builds a Chrome sink with no pipeline lane metadata — a
+// raw span writer for non-pipeline timelines (the engine sweep recorder).
+// Name tracks with Thread, then emit events with Span and Counter.
+func NewChromeSpans(w io.Writer, process string, pid int) *Chrome {
+	c := newChromeWriter(w)
+	c.meta("process_name", pid, 0, process)
+	return c
+}
+
+// Thread names a track (thread) of the trace.
+func (c *Chrome) Thread(pid, tid int, name string) {
+	c.meta("thread_name", pid, tid, name)
+}
+
+// Span emits one complete ("X") event. args, when non-empty, is the raw
+// JSON body of the event's args object (caller escapes its strings).
+func (c *Chrome) Span(pid, tid int, name, cat string, ts, dur int64, args string) {
+	if args != "" {
+		args = `,"args":{` + args + `}`
+	}
+	c.record(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d%s}`,
+		name, cat, ts, dur, pid, tid, args))
+}
+
+// Counter emits one counter ("C") sample for the named counter track.
+func (c *Chrome) Counter(pid int, name string, ts int64, field string, v int64) {
+	c.record(fmt.Sprintf(`{"name":%q,"ph":"C","ts":%d,"pid":%d,"args":{%q:%d}}`,
+		name, ts, pid, field, v))
 }
 
 func (c *Chrome) raw(s string) {
@@ -140,6 +178,35 @@ func (c *Chrome) Emit(ev Event) {
 		c.record(fmt.Sprintf(`{"name":"dbb occupancy","ph":"C","ts":%d,"pid":%d,"args":{"outstanding":%d}}`,
 			ev.Cycle, chromePid, ev.Val))
 	}
+}
+
+// ChromeEvent is one parsed trace_event record — the round-trip witness
+// structure the Chrome-export tests (and any downstream consumer that
+// wants to re-read a written timeline) validate against.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// chromeFile is the JSON-object trace container format.
+type chromeFile struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+}
+
+// ParseChromeEvents reads a Chrome trace_event JSON object (the format
+// NewChrome and NewChromeSpans write) back into its event list.
+func ParseChromeEvents(r io.Reader) ([]ChromeEvent, error) {
+	var f chromeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: chrome parse: %w", err)
+	}
+	return f.TraceEvents, nil
 }
 
 // Close writes the footer, flushes, and closes the underlying file if

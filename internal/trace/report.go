@@ -18,15 +18,17 @@ import (
 // time series). SchemaV3 adds the optional per-run `attribution` section
 // (per-cause issue-slot accounting). SchemaV4 adds the optional per-run
 // `pipeview` section (per-instruction lifetime records and squash
-// genealogy). A report is stamped with the highest version whose section
-// it actually carries, so sampling-off / attribution-off / pipeview-off
-// output is bit-identical to v1 and older consumers are unaffected unless
-// they opt in.
+// genealogy). SchemaV5 adds the optional per-report `sweep` section (the
+// engine flight recording). A report is stamped with the highest version
+// whose section it actually carries, so sampling-off / attribution-off /
+// pipeview-off / recorder-off output is bit-identical to v1 and older
+// consumers are unaffected unless they opt in.
 const (
 	SchemaV1 = "vanguard-telemetry/v1"
 	SchemaV2 = "vanguard-telemetry/v2"
 	SchemaV3 = "vanguard-telemetry/v3"
 	SchemaV4 = "vanguard-telemetry/v4"
+	SchemaV5 = "vanguard-telemetry/v5"
 )
 
 // Schema is the base (v1) schema tag new reports start from.
@@ -45,6 +47,11 @@ type Report struct {
 	// It is the only non-deterministic part of a report (wall times), so
 	// differential consumers compare reports with Engine stripped.
 	Engine *EngineReport `json:"engine,omitempty"`
+	// Sweep is the engine flight recording (per-unit lifecycle spans),
+	// present only when the tool ran with the sweep recorder on
+	// (-sweep-trace); its presence bumps the report to v5. Like Engine it
+	// carries wall times, so differential consumers strip it too.
+	Sweep *SweepReport `json:"sweep,omitempty"`
 }
 
 // EngineReport is the experiment-engine telemetry of one tool invocation:
@@ -176,11 +183,13 @@ func (r *Report) pipeviewed() bool {
 }
 
 // Write renders the report as indented JSON, stamping the highest schema
-// tag whose optional section is present (v4 pipeview over v3 attribution
-// over v2 samples; a plain report stays v1).
+// tag whose optional section is present (v5 sweep over v4 pipeview over
+// v3 attribution over v2 samples; a plain report stays v1).
 func (r *Report) Write(w io.Writer) error {
 	if r.Schema == SchemaV1 {
 		switch {
+		case r.Sweep != nil:
+			r.Schema = SchemaV5
 		case r.pipeviewed():
 			r.Schema = SchemaV4
 		case r.attributed():
@@ -213,7 +222,9 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, err
 	}
-	if r.Schema != SchemaV1 && r.Schema != SchemaV2 && r.Schema != SchemaV3 && r.Schema != SchemaV4 {
+	switch r.Schema {
+	case SchemaV1, SchemaV2, SchemaV3, SchemaV4, SchemaV5:
+	default:
 		return nil, &SchemaError{Got: r.Schema}
 	}
 	return &r, nil
@@ -223,5 +234,5 @@ func ReadReport(rd io.Reader) (*Report, error) {
 type SchemaError struct{ Got string }
 
 func (e *SchemaError) Error() string {
-	return "trace: report schema " + e.Got + " (want " + SchemaV1 + ".." + SchemaV4 + ")"
+	return "trace: report schema " + e.Got + " (want " + SchemaV1 + ".." + SchemaV5 + ")"
 }
