@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check fmt vet race bench bench-all bench-diff bench-json results attr-gate staticcheck pipeview-gate lane-gate kernel-gate sweep-gate
+.PHONY: all build test check fmt vet race bench bench-all bench-diff bench-json results attr-gate staticcheck pipeview-gate lane-gate kernel-gate sweep-gate bpred-gate
 
 # Pinned staticcheck version: `go run` resolves it through the module
 # proxy, so the exact analyzer version is reproducible everywhere.
@@ -84,8 +84,21 @@ sweep-gate:
 		-run 'TestSweep|TestRecorder|TestMonitor|TestMetricsPromFormat|TestPromValidator|TestReportSchemaV5|TestWriteSweepArtifacts' \
 		./internal/engine/ ./internal/harness/ ./internal/trace/
 
+# Predictor-observatory gate: the probe's conservation invariant (every
+# resolve lands in exactly one provider/class bucket) on unit traces and
+# on a real benchmark end to end, probe-off byte-identity and zero
+# steady-state allocations, the v6 telemetry round-trip, the reflection
+# audit of the run-cache key against harness.Options/pipeline.Config,
+# and the monitor's /metrics + /debug/bpred surface — all under the race
+# detector and uncached.
+bpred-gate:
+	$(GO) test -race -count 1 \
+		-run 'TestProbe|TestHist|TestCtr2|TestBpredProbe|TestReportSchemaV6|TestSchemaConstants|TestRunBpredDiff|TestWriteBpredCSV|TestRunCacheKey|TestSimKeySeparates|TestMonitorBpred' \
+		./internal/bpred/ ./internal/pipeline/ ./internal/trace/ \
+		./internal/harness/ ./internal/engine/
+
 # Pre-PR gate: run this before every commit.
-check: fmt vet build staticcheck lane-gate kernel-gate sweep-gate race
+check: fmt vet build staticcheck lane-gate kernel-gate sweep-gate bpred-gate race
 
 # Attribution-conservation gate: every attributed fast-suite simulation
 # must charge exactly cycles x width issue slots (pipeline invariant

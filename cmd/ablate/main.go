@@ -17,6 +17,7 @@ import (
 	"vanguard/internal/harness"
 	"vanguard/internal/pipeline"
 	"vanguard/internal/trace"
+	"vanguard/internal/workload"
 )
 
 func main() {
@@ -26,6 +27,8 @@ func main() {
 		sweep    = flag.String("sweep", "all", "gap | hoist | dbb | slice | all")
 		fast     = flag.Bool("fast", false, "reduced inputs")
 		attrF    = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation (feeds the monitor's /metrics per-cause counters)")
+		bpredRep = flag.Bool("bpred-report", false, "probe the predictor on every simulation and print the ablation benchmarks' table-level studies")
+		bpredCSV = flag.String("bpred-csv", "", "probe the predictor on every simulation and write the ablation benchmarks' per-branch classifications as CSV to this file")
 		jsonF    = flag.String("json", "", "also write the sweeps as a structured telemetry report to this file")
 		dispatch = flag.String("dispatch", "kernels", "instruction dispatch engine: kernels (per-PC compiled at load) or switch (reference exec.Step); results are byte-identical")
 		jobs     = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
@@ -53,6 +56,7 @@ func main() {
 	o.Lanes = *lanes
 	o.EngineStats = es
 	o.Attr = *attrF
+	o.Probe = *bpredRep || *bpredCSV != ""
 	o.Dispatch = disp
 	if !*noCache && *cacheDir != "" {
 		c, err := engine.Open(*cacheDir)
@@ -70,7 +74,7 @@ func main() {
 				log.Fatalf("listen: %v", err)
 			}
 			defer closeSrv()
-			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)", addr)
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /debug/bpred, /healthz, /debug/pprof)", addr)
 		}
 		if *progress {
 			stop := o.Monitor.StartStatus(os.Stderr, 0)
@@ -119,6 +123,54 @@ func main() {
 		}
 	} else {
 		run(*sweep)
+	}
+	if o.Probe {
+		// The sweeps above reduce to speedup points; the observatory needs
+		// the full Stats, so probe the ablation benchmark set directly (one
+		// engine job set — the run cache makes repeats cheap).
+		var cs []workload.Config
+		for _, n := range names {
+			c, ok := workload.ByName(n)
+			if !ok {
+				log.Fatalf("unknown ablation benchmark %q", n)
+			}
+			cs = append(cs, c)
+		}
+		rs, err := harness.RunBenchmarks(cs, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *bpredRep {
+			fmt.Println("\nPredictor observatory (ablation benchmarks, first REF input):")
+			for _, r := range rs {
+				wr := r.Inputs[0].Runs[0]
+				for _, cand := range r.Inputs[0].Runs {
+					if cand.Width == 4 {
+						wr = cand
+					}
+				}
+				if wr.Base.Bpred == nil || wr.Exp.Bpred == nil {
+					continue
+				}
+				fmt.Println()
+				harness.WriteBpredStudy(os.Stdout, fmt.Sprintf("%s/base w%d", r.Config.Name, wr.Width), wr.Base.Bpred, 5)
+				harness.WriteBpredStudy(os.Stdout, fmt.Sprintf("%s/exp w%d", r.Config.Name, wr.Width), wr.Exp.Bpred, 5)
+			}
+		}
+		if *bpredCSV != "" {
+			f, err := os.Create(*bpredCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := harness.WriteBpredCSV(f, rs); err != nil {
+				f.Close()
+				log.Fatalf("%s: %v", *bpredCSV, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *bpredCSV)
+		}
 	}
 	if *jsonF != "" {
 		rep := harness.AblationJSON("ablate", sweeps, order)

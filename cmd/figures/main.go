@@ -79,22 +79,38 @@ func dumpSamples(path string, plot bool) {
 // writeAttrCSV exports a differential attribution's stacked-CPI and
 // per-branch delta tables as PREFIX.cpistack.csv and PREFIX.branches.csv.
 func writeAttrCSV(prefix string, d *harness.AttrDiff) {
-	write := func(path string, fn func(*os.File) (int, error)) {
-		f, err := os.Create(path)
+	writeCSVFile(prefix+".cpistack.csv", func(f *os.File) (int, error) { return harness.WriteCPIStackCSV(f, d) })
+	writeCSVFile(prefix+".branches.csv", func(f *os.File) (int, error) { return harness.WriteBranchDeltaCSV(f, d) })
+}
+
+// writeBpredCSV exports a predictor differential's classification ×
+// conversion join and both binaries' per-branch studies.
+func writeBpredCSV(prefix string, d *harness.BpredDiff) {
+	writeCSVFile(prefix+".bpredjoin.csv", func(f *os.File) (int, error) { return harness.WriteBpredJoinCSV(f, d) })
+	writeCSVFile(prefix+".bpredstudy.csv", func(f *os.File) (int, error) {
+		n, err := harness.WriteBpredStudyCSV(f, d.Benchmark, d.Input, d.Width, "base", d.Base)
 		if err != nil {
-			log.Fatal(err)
+			return n, err
 		}
-		rows, err := fn(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("wrote %s (%d rows)", path, rows)
+		m, err := harness.WriteBpredStudyCSV(f, d.Benchmark, d.Input, d.Width, "exp", d.Exp)
+		return n + m, err
+	})
+}
+
+// writeCSVFile creates path, runs fn on it, and logs the row count.
+func writeCSVFile(path string, fn func(*os.File) (int, error)) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
 	}
-	write(prefix+".cpistack.csv", func(f *os.File) (int, error) { return harness.WriteCPIStackCSV(f, d) })
-	write(prefix+".branches.csv", func(f *os.File) (int, error) { return harness.WriteBranchDeltaCSV(f, d) })
+	rows, err := fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d rows)", path, rows)
 }
 
 func main() {
@@ -107,6 +123,8 @@ func main() {
 		cpistack    = flag.String("cpistack", "", "render the baseline-vs-vanguard CPI stack and per-branch delta attribution for this benchmark")
 		width       = flag.Int("width", 4, "issue width for -cpistack")
 		attrCSV     = flag.String("attr-csv", "", "with -cpistack, also write PREFIX.cpistack.csv and PREFIX.branches.csv using this path prefix")
+		bpredRep    = flag.Bool("bpred-report", false, "with -cpistack: also probe both binaries' predictors and render the classification x conversion join (which converted branches were unpredictable vs merely mispredicted)")
+		bpredCSV    = flag.String("bpred-csv", "", "with -cpistack: write the classification x conversion join as PREFIX.bpredjoin.csv and the per-branch studies as PREFIX.bpredstudy.csv (implies -bpred-report)")
 		fast        = flag.Bool("fast", false, "reduced inputs (quick smoke run)")
 		plot        = flag.Bool("plot", false, "render ASCII charts instead of tables")
 		jobs        = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
@@ -151,7 +169,7 @@ func main() {
 				log.Fatalf("listen: %v", err)
 			}
 			defer closeSrv()
-			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)", addr)
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /debug/bpred, /healthz, /debug/pprof)", addr)
 		}
 		if *progress {
 			stop := o.Monitor.StartStatus(os.Stderr, 0)
@@ -182,6 +200,24 @@ func main() {
 		c, ok := workload.ByName(*cpistack)
 		if !ok {
 			log.Fatalf("unknown benchmark %q", *cpistack)
+		}
+		if *bpredRep || *bpredCSV != "" {
+			// The joined run: probe + attribution on the same simulations,
+			// so the CPI deltas and the predictability classes line up.
+			bd, err := harness.RunBpredDiff(c, o, *width)
+			if err != nil {
+				log.Fatal(err)
+			}
+			harness.WriteAttrDiff(os.Stdout, bd.Attr, 10)
+			fmt.Println()
+			harness.WriteBpredReport(os.Stdout, bd, 10)
+			if *attrCSV != "" {
+				writeAttrCSV(*attrCSV, bd.Attr)
+			}
+			if *bpredCSV != "" {
+				writeBpredCSV(*bpredCSV, bd)
+			}
+			break
 		}
 		d, err := harness.RunAttrDiff(c, o, *width)
 		if err != nil {

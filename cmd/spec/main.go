@@ -80,6 +80,8 @@ func main() {
 		schemaF   = flag.Bool("schema", false, "print the telemetry schema version -json would emit, then exit")
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a per-run counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
 		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause on every simulation; -json reports gain per-run attribution sections (schema "+trace.SchemaV3+")")
+		bpredRep  = flag.Bool("bpred-report", false, "probe the predictor on every simulation and print each benchmark's table-level study; -json reports gain per-run bpredstudy sections (schema "+trace.SchemaV6+")")
+		bpredCSV  = flag.String("bpred-csv", "", "probe the predictor on every simulation and write the per-branch classifications of all suites as CSV to this file")
 		pview     = flag.String("pipeview", "", "capture per-instruction pipeline lifetimes on the named benchmark's simulations; -json reports gain per-run pipeview sections (schema "+trace.SchemaV4+")")
 		dispatch  = flag.String("dispatch", "kernels", "instruction dispatch engine: kernels (per-PC compiled at load) or switch (reference exec.Step); results are byte-identical")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
@@ -96,9 +98,11 @@ func main() {
 	flag.Parse()
 	if *schemaF {
 		// Reports carry the optional sections (and their tags) only when the
-		// producing flag is on; sweep (v5) outranks pipeview (v4) outranks
-		// attribution (v3) outranks sampling (v2).
+		// producing flag is on; bpredstudy (v6) outranks sweep (v5) outranks
+		// pipeview (v4) outranks attribution (v3) outranks sampling (v2).
 		switch {
+		case *bpredRep || *bpredCSV != "":
+			fmt.Println(trace.SchemaV6)
 		case *sweepOut != "" || *sweepChr != "":
 			fmt.Println(trace.SchemaV5)
 		case *pview != "":
@@ -128,6 +132,7 @@ func main() {
 	o.EngineStats = es
 	o.SampleWindow = *sampleWin
 	o.Attr = *attrF
+	o.Probe = *bpredRep || *bpredCSV != ""
 	o.Dispatch = disp
 	o.PipeviewBench = *pview
 	if !*noCache && *cacheDir != "" {
@@ -146,7 +151,7 @@ func main() {
 				log.Fatalf("listen: %v", err)
 			}
 			defer closeSrv()
-			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)", addr)
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /debug/bpred, /healthz, /debug/pprof)", addr)
 		}
 		if *progress {
 			stop := o.Monitor.StartStatus(os.Stderr, 0)
@@ -230,6 +235,46 @@ func main() {
 	}
 	if *icache {
 		runICache()
+		did = true
+	}
+	allSuites := func() []*harness.BenchResult {
+		var rs []*harness.BenchResult
+		for _, s := range workload.AllSuites() {
+			rs = append(rs, suite(s)...)
+		}
+		return rs
+	}
+	if *bpredRep {
+		fmt.Println("Predictor observatory (first REF input):")
+		for _, r := range allSuites() {
+			wr := r.Inputs[0].Runs[0]
+			for _, cand := range r.Inputs[0].Runs {
+				if cand.Width == 4 {
+					wr = cand
+				}
+			}
+			if wr.Base.Bpred == nil || wr.Exp.Bpred == nil {
+				continue
+			}
+			fmt.Println()
+			harness.WriteBpredStudy(os.Stdout, fmt.Sprintf("%s/base w%d", r.Config.Name, wr.Width), wr.Base.Bpred, 5)
+			harness.WriteBpredStudy(os.Stdout, fmt.Sprintf("%s/exp w%d", r.Config.Name, wr.Width), wr.Exp.Bpred, 5)
+		}
+		did = true
+	}
+	if *bpredCSV != "" {
+		f, err := os.Create(*bpredCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := harness.WriteBpredCSV(f, allSuites()); err != nil {
+			f.Close()
+			log.Fatalf("%s: %v", *bpredCSV, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *bpredCSV)
 		did = true
 	}
 	if *all {

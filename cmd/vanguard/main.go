@@ -32,6 +32,8 @@ func main() {
 		iters     = flag.Int64("iters", 0, "override REF iteration count")
 		dump      = flag.Bool("dump", false, "disassemble the baseline and experimental binaries")
 		attrF     = flag.Bool("attr", false, "attribute every issue slot to a cause and print the baseline-vs-vanguard cycle stack, per-branch deltas, and offender tables")
+		bpredRep  = flag.Bool("bpred-report", false, "probe the predictor on both binaries and print the table-level studies with per-branch predictability classes")
+		bpredCSV  = flag.String("bpred-csv", "", "probe the predictor and write every run's per-branch classification as CSV to this file (implies -bpred-report)")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
 		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/sweep dashboard, /healthz, /debug/pprof")
@@ -66,13 +68,14 @@ func main() {
 				log.Fatalf("listen: %v", err)
 			}
 			defer closeSrv()
-			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /healthz, /debug/pprof)", addr)
+			log.Printf("monitor listening on http://%s (/progress, /metrics, /debug/sweep, /debug/bpred, /healthz, /debug/pprof)", addr)
 		}
 		if *progress {
 			stop := o.Monitor.StartStatus(os.Stderr, 0)
 			defer stop()
 		}
 	}
+	o.Probe = *bpredRep || *bpredCSV != ""
 	if *sweepOut != "" || *sweepChr != "" {
 		o.Recorder = engine.NewSweepRecorder()
 	}
@@ -133,6 +136,28 @@ func main() {
 			}
 			fmt.Println()
 			harness.WriteAttrDiff(os.Stdout, d, 10)
+		}
+	}
+	if o.Probe && len(r.Inputs) > 0 {
+		wr := r.Inputs[0].Runs[0]
+		if *bpredRep && wr.Base.Bpred != nil && wr.Exp.Bpred != nil {
+			fmt.Println()
+			harness.WriteBpredStudy(os.Stdout, fmt.Sprintf("%s/base w%d", c.Name, wr.Width), wr.Base.Bpred, 10)
+			harness.WriteBpredStudy(os.Stdout, fmt.Sprintf("%s/exp w%d", c.Name, wr.Width), wr.Exp.Bpred, 10)
+		}
+		if *bpredCSV != "" {
+			f, err := os.Create(*bpredCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := harness.WriteBpredCSV(f, []*harness.BenchResult{r}); err != nil {
+				f.Close()
+				log.Fatalf("%s: %v", *bpredCSV, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", *bpredCSV)
 		}
 	}
 	if _, err := harness.WriteSweepArtifacts(o.Recorder, *sweepOut, *sweepChr, o.Cache); err != nil {

@@ -42,6 +42,7 @@ import (
 	"vanguard/internal/sched"
 	"vanguard/internal/textplot"
 	"vanguard/internal/trace"
+	"vanguard/internal/workload"
 )
 
 func main() {
@@ -54,7 +55,7 @@ func main() {
 		maxInstrs = flag.Int64("max-instrs", 50_000_000, "functional instruction cap")
 		doTrace   = flag.Bool("trace", false, "print issue/mispredict events from the timing run (historical line format)")
 		traceAll  = flag.Bool("trace-all", false, "like -trace, but print every lifecycle event (fetch, commit, squash, DBB push/pop, cache misses, faults)")
-		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+"; "+trace.SchemaV2+" when sampling is on, "+trace.SchemaV3+" with -attr, "+trace.SchemaV4+" with -pipeview, "+trace.SchemaV5+" with -sweep-trace) to this file")
+		jsonOut   = flag.String("json", "", "write a machine-readable telemetry report (schema "+trace.Schema+"; "+trace.SchemaV2+" when sampling is on, "+trace.SchemaV3+" with -attr, "+trace.SchemaV4+" with -pipeview, "+trace.SchemaV5+" with -sweep-trace, "+trace.SchemaV6+" with -bpred-report) to this file")
 		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace_event timeline (open in chrome://tracing or ui.perfetto.dev) to this file")
 		noHists   = flag.Bool("no-hists", false, "suppress the ASCII histograms in the text report")
 		sampleWin = flag.Int64("sample-window", 0, fmt.Sprintf("record a counter time series every N cycles (0 disables; the conventional window is %d)", sample.DefaultWindow))
@@ -67,13 +68,15 @@ func main() {
 		pvEvery   = flag.Int64("pipeview-every", 0, "capture one burst of records at the start of every N-cycle window (implies -pipeview)")
 		attrDiff  = flag.Bool("attr-diff", false, "profile, decompose, and simulate the baseline and vanguard binaries with attribution on; print the CPI-stack delta and per-branch recovery table, then exit")
 		attrCSV   = flag.String("attr-csv", "", "with -attr-diff: also write PREFIX.cpistack.csv and PREFIX.branches.csv")
+		bpredOn   = flag.Bool("bpred-report", false, "probe the direction predictor: print the table-level study and per-branch predictability classes, add a bpredstudy section to -json reports (schema "+trace.SchemaV6+")")
+		bpredCSV  = flag.String("bpred-csv", "", "write the probed run's per-branch classification as CSV to this file (implies -bpred-report)")
 		dispatch  = flag.String("dispatch", "kernels", "instruction dispatch engine: kernels (per-PC compiled at load) or switch (reference exec.Step); results are byte-identical")
 		jobs      = flag.Int("jobs", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		lanes     = flag.Int("lanes", 0, fmt.Sprintf("max same-image simulations stepped as one lane group (0 = auto, %d; 1 = scalar); vgrun's units are single runs over distinct binaries, so they always take the scalar fallback — the flag exists for parity with spec/ablate", pipeline.DefaultLanes))
 		cacheDir  = flag.String("cache-dir", engine.DefaultDir(), "on-disk run cache directory")
 		noCache   = flag.Bool("no-cache", false, "disable the on-disk run cache")
 		progress  = flag.Bool("progress", false, "render a live engine status line on stderr")
-		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/sweep dashboard, /healthz, /debug/pprof")
+		listen    = flag.String("listen", "", "serve live progress over HTTP on this address (e.g. :0): /progress JSON, /metrics Prometheus text, /debug/sweep and /debug/bpred dashboards, /healthz, /debug/pprof")
 		sweepOut  = flag.String("sweep-trace", "", "record the engine flight recording (one span per unit lifecycle phase) and write it as a "+trace.SweepSchema+" JSON artifact to this file")
 		sweepChr  = flag.String("sweep-chrome", "", "record the engine flight recording and write it as a Chrome trace_event timeline (one track per worker; open in chrome://tracing or ui.perfetto.dev) to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to a file")
@@ -200,11 +203,16 @@ func main() {
 		c.EveryWindow = *pvEvery
 		pvCfg = &c
 	}
+	// The predictor observatory rides inside Stats like pipeview, so
+	// probed runs stay cacheable too.
+	probeOn := *bpredOn || *bpredCSV != ""
 	// v4: the dispatch engine joined the key — kernels and switch are
 	// byte-identical, but the namespace moves with the simulator core.
+	// v5: the probe joined the key, so probed runs (whose Stats carry a
+	// bpredstudy) never alias plain entries.
 	key := ""
 	if !tracing {
-		key = engine.Key("vgrun/v4", string(src), *width, *transform, *maxInstrs, *sampleWin, *attrOn, pvCfg, disp.String())
+		key = engine.Key("vgrun/v5", string(src), *width, *transform, *maxInstrs, *sampleWin, *attrOn, pvCfg, disp.String(), probeOn)
 	}
 
 	runTiming := func(context.Context) (*pipeline.Stats, error) {
@@ -213,6 +221,7 @@ func main() {
 		cfg.Attr = *attrOn
 		cfg.Pipeview = pvCfg
 		cfg.Dispatch = disp
+		cfg.Probe = probeOn
 		mach := pipeline.New(im, mem.New(), cfg)
 
 		// An always-on bounded ring keeps the most recent lifecycle events
@@ -277,6 +286,9 @@ func main() {
 	if mon != nil && st.Attr != nil {
 		mon.ObserveAttr(st.Attr.Slots)
 	}
+	if mon != nil && st.Bpred != nil {
+		mon.ObserveBpred(st.Bpred)
+	}
 	fmt.Printf("timing:     %d cycles, IPC %.3f, %d issued (%d wrong-path), MPKI %.2f\n",
 		st.Cycles, st.IPC(), st.Issued, st.WrongPathIssued, st.MPKI())
 	if st.Predicts > 0 {
@@ -315,6 +327,28 @@ func main() {
 	if st.Attr != nil {
 		fmt.Println()
 		harness.WriteAttrReport(os.Stdout, "cycle attribution (cycles by cause)", st.Attr, 10)
+	}
+
+	if st.Bpred != nil {
+		if err := st.Bpred.CheckAgainst(st.CondBranches+st.Resolves, st.BrMispredicts+st.ResMispredicts); err != nil {
+			log.Fatalf("predictor study conservation: %v", err)
+		}
+		fmt.Println()
+		harness.WriteBpredStudy(os.Stdout, "predictor study", st.Bpred, 10)
+		if *bpredCSV != "" {
+			f, err := os.Create(*bpredCSV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := harness.WriteBpredStudyCSV(f, flag.Arg(0), workload.Input{}, *width, "timing", st.Bpred); err != nil {
+				f.Close()
+				log.Fatalf("%s: %v", *bpredCSV, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *bpredCSV)
+		}
 	}
 
 	if pv := st.Pipeview; pv != nil {

@@ -100,6 +100,23 @@ type DirPredictor interface {
 // ctr2 is a 2-bit saturating counter; taken when >= 2.
 type ctr2 uint8
 
+// surveyCtr2 summarizes a 2-bit-counter table for the observatory:
+// occupied entries have moved off their reset value; weak entries are
+// occupied but sit in the central low-confidence band (1, 2).
+func surveyCtr2(name string, t []ctr2, reset ctr2) TableSurvey {
+	s := TableSurvey{Name: name, Entries: len(t)}
+	for _, c := range t {
+		if c == reset {
+			continue
+		}
+		s.Occupied++
+		if c == 1 || c == 2 {
+			s.Weak++
+		}
+	}
+	return s
+}
+
 func (c ctr2) taken() bool { return c >= 2 }
 func (c ctr2) inc() ctr2 {
 	if c < 3 {
@@ -154,6 +171,9 @@ func (s *Static) Restore(Hist) {}
 type Bimodal struct {
 	table []ctr2
 	mask  uint64
+
+	probe   *Probe
+	probeTb int
 }
 
 // NewBimodal builds a bimodal predictor with 2^logSize counters.
@@ -181,7 +201,22 @@ func (b *Bimodal) Predict(pc uint64) (bool, Meta) {
 // Update implements DirPredictor.
 func (b *Bimodal) Update(pc uint64, taken bool, m Meta) {
 	i := pc & b.mask
+	if b.probe != nil {
+		b.probe.noteEntry(b.probeTb, i, pc)
+	}
 	b.table[i] = b.table[i].train(taken)
+}
+
+// AttachProbe implements Observable.
+func (b *Bimodal) AttachProbe(p *Probe) {
+	b.probe = p
+	p.setProviders("", "bimodal")
+	b.probeTb = p.registerTable("bimodal", len(b.table))
+}
+
+// Survey implements Surveyor.
+func (b *Bimodal) Survey() []TableSurvey {
+	return []TableSurvey{surveyCtr2("bimodal", b.table, 1)}
 }
 
 // PushHistory implements DirPredictor.
@@ -199,6 +234,9 @@ type GShare struct {
 	mask     uint64
 	histBits int
 	hist     Hist
+
+	probe   *Probe
+	probeTb int
 }
 
 // NewGShare builds a gshare predictor with 2^logSize counters and the
@@ -233,7 +271,22 @@ func (g *GShare) Predict(pc uint64) (bool, Meta) {
 // the entry that actually produced the prediction.
 func (g *GShare) Update(pc uint64, taken bool, m Meta) {
 	i := g.index(pc, m.Hist)
+	if g.probe != nil {
+		g.probe.noteEntry(g.probeTb, i, pc)
+	}
 	g.table[i] = g.table[i].train(taken)
+}
+
+// AttachProbe implements Observable.
+func (g *GShare) AttachProbe(p *Probe) {
+	g.probe = p
+	p.setProviders("", "gshare")
+	g.probeTb = p.registerTable("gshare", len(g.table))
+}
+
+// Survey implements Surveyor.
+func (g *GShare) Survey() []TableSurvey {
+	return []TableSurvey{surveyCtr2("gshare", g.table, 1)}
 }
 
 // PushHistory implements DirPredictor.
@@ -255,6 +308,10 @@ type Tournament struct {
 	mask     uint64
 	histBits int
 	hist     Hist
+
+	probe    *Probe
+	probeBim int
+	probeGsh int
 }
 
 // NewTournament builds the combining predictor; logSize counters per table.
@@ -303,6 +360,10 @@ func (t *Tournament) Predict(pc uint64) (bool, Meta) {
 func (t *Tournament) Update(pc uint64, taken bool, m Meta) {
 	bi := pc & t.mask
 	gi := t.gindex(pc, m.Hist)
+	if t.probe != nil {
+		t.probe.noteEntry(t.probeBim, bi, pc)
+		t.probe.noteEntry(t.probeGsh, gi, pc)
+	}
 	bRight := t.bim[bi].taken() == taken
 	gRight := t.gsh[gi].taken() == taken
 	if bRight != gRight {
@@ -310,6 +371,26 @@ func (t *Tournament) Update(pc uint64, taken bool, m Meta) {
 	}
 	t.bim[bi] = t.bim[bi].train(taken)
 	t.gsh[gi] = t.gsh[gi].train(taken)
+}
+
+// AttachProbe implements Observable. The provider-slot names make the
+// observatory's chooser-arm balance legible: Meta.Provider selects the
+// arm, so providerUse["bimodal"] vs providerUse["gshare"] is exactly the
+// chooser's runtime routing.
+func (t *Tournament) AttachProbe(p *Probe) {
+	t.probe = p
+	p.setProviders("", "bimodal", "gshare")
+	t.probeBim = p.registerTable("bimodal", len(t.bim))
+	t.probeGsh = p.registerTable("gshare", len(t.gsh))
+}
+
+// Survey implements Surveyor.
+func (t *Tournament) Survey() []TableSurvey {
+	return []TableSurvey{
+		surveyCtr2("bimodal", t.bim, 1),
+		surveyCtr2("gshare", t.gsh, 1),
+		surveyCtr2("chooser", t.chooser, 2),
+	}
 }
 
 // PushHistory implements DirPredictor.

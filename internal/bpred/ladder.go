@@ -33,6 +33,25 @@ func LadderSpecs() []LadderSpec {
 	}
 }
 
+// Every ladder rung supports the full observatory: table-level event
+// streaming (Observable) and end-of-run occupancy (Surveyor). Static is
+// the deliberate exception — it has no tables to observe.
+var (
+	_ Observable = (*Bimodal)(nil)
+	_ Observable = (*GShare)(nil)
+	_ Observable = (*Tournament)(nil)
+	_ Observable = (*TAGE)(nil)
+	_ Observable = (*ISLTAGE)(nil)
+	_ Observable = (*Perceptron)(nil)
+
+	_ Surveyor = (*Bimodal)(nil)
+	_ Surveyor = (*GShare)(nil)
+	_ Surveyor = (*Tournament)(nil)
+	_ Surveyor = (*TAGE)(nil)
+	_ Surveyor = (*ISLTAGE)(nil)
+	_ Surveyor = (*Perceptron)(nil)
+)
+
 // ByName constructs a predictor from a configuration name; the CLI tools
 // use it. Unknown names return nil.
 func ByName(name string) DirPredictor {

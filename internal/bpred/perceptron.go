@@ -14,6 +14,9 @@ type Perceptron struct {
 	histBits int
 	hist     Hist
 	theta    int32
+
+	probe   *Probe
+	probeTb int
 }
 
 // NewPerceptron builds a perceptron predictor with 2^logRows weight rows
@@ -77,6 +80,9 @@ func (p *Perceptron) Update(pc uint64, taken bool, m Meta) {
 		return
 	}
 	row := (pc ^ pc>>13) & p.mask
+	if p.probe != nil {
+		p.probe.noteEntry(p.probeTb, row, pc)
+	}
 	w := p.weights[row]
 	step := func(v int8, up bool) int8 {
 		if up && v < 127 {
@@ -98,6 +104,33 @@ func (p *Perceptron) Update(pc uint64, taken bool, m Meta) {
 		agrees := (bit != 0) == taken
 		w[i] = step(w[i], agrees)
 	}
+}
+
+// AttachProbe implements Observable: the weight rows are one table, and
+// aliasing counts the training updates (the only path that writes them).
+func (p *Perceptron) AttachProbe(pr *Probe) {
+	p.probe = pr
+	pr.setProviders("", "perceptron")
+	p.probeTb = pr.registerTable("weights", len(p.weights))
+}
+
+// Survey implements Surveyor: a weight row is occupied once its bias or
+// any weight is nonzero.
+func (p *Perceptron) Survey() []TableSurvey {
+	s := TableSurvey{Name: "weights", Entries: len(p.weights)}
+	for row := range p.weights {
+		occupied := p.bias[row] != 0
+		for _, w := range p.weights[row] {
+			if w != 0 {
+				occupied = true
+				break
+			}
+		}
+		if occupied {
+			s.Occupied++
+		}
+	}
+	return []TableSurvey{s}
 }
 
 // PushHistory implements DirPredictor.

@@ -1,5 +1,7 @@
 package bpred
 
+import "fmt"
+
 // TAGE is a TAgged GEometric history length predictor (Seznec), the upper
 // rungs of the Section 5.3 sensitivity ladder. ISL-TAGE composes TAGE with
 // a loop predictor and a statistical corrector.
@@ -32,6 +34,10 @@ type TAGE struct {
 
 	ticks int
 	rng   uint64 // deterministic xorshift for allocation choice
+
+	probe     *Probe
+	probeBase int
+	probeTab  []int
 }
 
 // NewTAGE builds a TAGE predictor: a 2^logBase bimodal base plus
@@ -148,10 +154,63 @@ func (t *TAGE) next() uint64 {
 	return t.rng
 }
 
+// AttachProbe implements Observable: the provider slots are the base
+// table plus each tagged table (longest-history table last), and every
+// table the committed update stream writes is aliasing-tracked.
+func (t *TAGE) AttachProbe(p *Probe) {
+	t.probe = p
+	names := make([]string, len(t.tables)+1)
+	names[0] = "base"
+	for i := range t.tables {
+		names[i+1] = fmt.Sprintf("tage%d", i+1)
+	}
+	p.setProviders(names...)
+	t.probeBase = p.registerTable("base", len(t.base))
+	t.probeTab = make([]int, len(t.tables))
+	for i := range t.tables {
+		t.probeTab[i] = p.registerTable(names[i+1], len(t.tables[i]))
+	}
+}
+
+// Survey implements Surveyor. A tagged entry counts as occupied once any
+// of its fields moved off the zero allocation state; it is weak while
+// its counter sits in the low-confidence band.
+func (t *TAGE) Survey() []TableSurvey {
+	out := []TableSurvey{surveyCtr2("base", t.base, 1)}
+	ch := TableSurvey{Name: "choose", Entries: len(t.choose)}
+	for _, c := range t.choose {
+		if c != 5 {
+			ch.Occupied++
+		}
+	}
+	out = append(out, ch)
+	for i, tb := range t.tables {
+		s := TableSurvey{Name: fmt.Sprintf("tage%d", i+1), Entries: len(tb)}
+		for j := range tb {
+			e := &tb[j]
+			if e.ctr == 0 && e.tag == 0 && e.u == 0 {
+				continue
+			}
+			s.Occupied++
+			if !confident(e.ctr) {
+				s.Weak++
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // Update implements DirPredictor.
 func (t *TAGE) Update(pc uint64, taken bool, m Meta) {
 	h := m.Hist
 	_, alt, provider, _, _ := t.lookup(pc, h)
+	if t.probe != nil {
+		t.probe.noteEntry(t.probeBase, pc&t.baseMask, pc)
+		if provider >= 0 {
+			t.probe.noteEntry(t.probeTab[provider], t.index(int(provider), pc, h), pc)
+		}
+	}
 
 	// Train the tagged-vs-base chooser on disagreements, independent of
 	// the chooser's own verdict.
@@ -214,6 +273,11 @@ func (t *TAGE) Update(pc uint64, taken bool, m Meta) {
 				} else {
 					e.ctr = -1
 				}
+				if t.probe != nil {
+					// An allocation overwrites the slot, so it counts as an
+					// entry touch for the aliasing books.
+					t.probe.noteEntry(t.probeTab[i], t.index(i, pc, h), pc)
+				}
 				allocated = true
 				break
 			}
@@ -225,6 +289,9 @@ func (t *TAGE) Update(pc uint64, taken bool, m Meta) {
 					e.u--
 				}
 			}
+		}
+		if t.probe != nil {
+			t.probe.noteAlloc(allocated)
 		}
 	}
 
@@ -266,6 +333,9 @@ type ISLTAGE struct {
 	loopMask uint64
 	sc       []int8 // statistical corrector counters
 	scMask   uint64
+
+	probeLoop int
+	probeSC   int
 }
 
 // NewISLTAGE builds the ISL-TAGE-class predictor.
@@ -319,9 +389,49 @@ func (p *ISLTAGE) Predict(pc uint64) (bool, Meta) {
 	return pred, meta
 }
 
+// AttachProbe implements Observable: the TAGE tables plus the loop
+// table and the statistical corrector.
+func (p *ISLTAGE) AttachProbe(pr *Probe) {
+	p.TAGE.AttachProbe(pr)
+	p.probeLoop = pr.registerTable("loop", len(p.loops))
+	p.probeSC = pr.registerTable("sc", len(p.sc))
+}
+
+// Survey implements Surveyor.
+func (p *ISLTAGE) Survey() []TableSurvey {
+	out := p.TAGE.Survey()
+	lp := TableSurvey{Name: "loop", Entries: len(p.loops)}
+	for i := range p.loops {
+		le := &p.loops[i]
+		if *le == (loopEntry{}) {
+			continue
+		}
+		lp.Occupied++
+		if le.conf < 3 {
+			lp.Weak++
+		}
+	}
+	sc := TableSurvey{Name: "sc", Entries: len(p.sc)}
+	for _, v := range p.sc {
+		if v == 0 {
+			continue
+		}
+		sc.Occupied++
+		if v > -8 && v < 8 {
+			sc.Weak++
+		}
+	}
+	return append(out, lp, sc)
+}
+
 // Update implements DirPredictor.
 func (p *ISLTAGE) Update(pc uint64, taken bool, m Meta) {
 	le := &p.loops[p.loopIndex(pc)]
+	if p.probe != nil && (le.tag == p.loopTag(pc) || m.Pred != taken) {
+		// Both arms below write the loop entry (training a match, aging
+		// or reallocating a mismatch on a mispredict).
+		p.probe.noteEntry(p.probeLoop, p.loopIndex(pc), pc)
+	}
 	if le.tag == p.loopTag(pc) {
 		if taken {
 			if le.currIter < 0xffff {
@@ -350,6 +460,9 @@ func (p *ISLTAGE) Update(pc uint64, taken bool, m Meta) {
 	// corrector consulted (weak predictions only).
 	if m.Weak && !m.LoopHit {
 		i := (pc ^ b2u(m.TagePred)) & p.scMask
+		if p.probe != nil {
+			p.probe.noteEntry(p.probeSC, i, pc)
+		}
 		if m.TagePred == taken {
 			if p.sc[i] < 31 {
 				p.sc[i]++

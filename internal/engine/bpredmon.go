@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"sort"
+
+	"vanguard/internal/bpred"
+)
+
+// BpredClassTotals accumulates one predictability class across every
+// probed run the monitor has observed: how many static branches landed in
+// the class, how many dynamic executions they cover, and how many of
+// those executions mispredicted.
+type BpredClassTotals struct {
+	Branches    int64 `json:"branches"`
+	Execs       int64 `json:"execs"`
+	Mispredicts int64 `json:"mispredicts"`
+}
+
+// bpredMon is the monitor's predictor-observatory accumulator, folded
+// from bpred.StudyReports by ObserveBpred and exposed at /metrics
+// (vanguard_bpred_* families) and /debug/bpred. Guarded by Monitor.mu.
+type bpredMon struct {
+	studies     int64
+	resolves    int64
+	mispredicts int64
+	classes     map[string]BpredClassTotals
+	providers   map[string]int64 // provider table -> times it supplied the prediction
+	predictors  map[string]bool  // predictor names seen (dashboard header)
+}
+
+// ObserveBpred folds one probed run's study into the monitor's running
+// predictor-observatory counters (harness calls it once per simulated
+// result carrying a Bpred section, after the engine returns, so cache
+// hits count the same as fresh simulations).
+func (m *Monitor) ObserveBpred(st *bpred.StudyReport) {
+	if st == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := &m.bpred
+	if b.classes == nil {
+		b.classes = make(map[string]BpredClassTotals)
+		b.providers = make(map[string]int64)
+		b.predictors = make(map[string]bool)
+	}
+	b.studies++
+	b.resolves += st.Resolves
+	b.mispredicts += st.Mispredicts
+	b.predictors[st.Predictor] = true
+	for class, ct := range st.Classes {
+		t := b.classes[class]
+		t.Branches += int64(ct.Branches)
+		t.Execs += ct.Execs
+		t.Mispredicts += ct.Mispredicts
+		b.classes[class] = t
+	}
+	for i := range st.Providers {
+		b.providers[st.Providers[i].Table] += st.Providers[i].Use
+	}
+}
+
+// bpredSnapshot copies the observatory counters under the lock; sorted
+// key slices make the exposition deterministic.
+func (m *Monitor) bpredSnapshot() (b bpredMon, classes, tables, preds []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b = bpredMon{
+		studies:     m.bpred.studies,
+		resolves:    m.bpred.resolves,
+		mispredicts: m.bpred.mispredicts,
+		classes:     make(map[string]BpredClassTotals, len(m.bpred.classes)),
+		providers:   make(map[string]int64, len(m.bpred.providers)),
+	}
+	for k, v := range m.bpred.classes {
+		b.classes[k] = v
+		classes = append(classes, k)
+	}
+	for k, v := range m.bpred.providers {
+		b.providers[k] = v
+		tables = append(tables, k)
+	}
+	for k := range m.bpred.predictors {
+		preds = append(preds, k)
+	}
+	sort.Strings(classes)
+	sort.Strings(tables)
+	sort.Strings(preds)
+	return b, classes, tables, preds
+}
+
+// writeBpredMetrics appends the vanguard_bpred_* families to a /metrics
+// response. Families are emitted only once a probed run has been
+// observed, so probe-off invocations expose an unchanged metric set.
+func (m *Monitor) writeBpredMetrics(w io.Writer) {
+	b, classes, tables, _ := m.bpredSnapshot()
+	if b.studies == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP vanguard_bpred_studies_total Probed runs folded into the predictor observatory.\n")
+	fmt.Fprintf(w, "# TYPE vanguard_bpred_studies_total counter\nvanguard_bpred_studies_total %d\n", b.studies)
+	fmt.Fprintf(w, "# HELP vanguard_bpred_resolves_total Conditional resolutions observed across probed runs.\n")
+	fmt.Fprintf(w, "# TYPE vanguard_bpred_resolves_total counter\nvanguard_bpred_resolves_total %d\n", b.resolves)
+	fmt.Fprintf(w, "# HELP vanguard_bpred_mispredicts_total Mispredicted resolutions observed across probed runs.\n")
+	fmt.Fprintf(w, "# TYPE vanguard_bpred_mispredicts_total counter\nvanguard_bpred_mispredicts_total %d\n", b.mispredicts)
+	if len(classes) > 0 {
+		fmt.Fprintf(w, "# HELP vanguard_bpred_class_branches_total Static branches per predictability class across probed runs.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_bpred_class_branches_total counter\n")
+		for _, c := range classes {
+			fmt.Fprintf(w, "vanguard_bpred_class_branches_total{class=\"%s\"} %d\n", promLabelEscape(c), b.classes[c].Branches)
+		}
+		fmt.Fprintf(w, "# HELP vanguard_bpred_class_execs_total Dynamic branch executions per predictability class across probed runs.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_bpred_class_execs_total counter\n")
+		for _, c := range classes {
+			fmt.Fprintf(w, "vanguard_bpred_class_execs_total{class=\"%s\"} %d\n", promLabelEscape(c), b.classes[c].Execs)
+		}
+		fmt.Fprintf(w, "# HELP vanguard_bpred_class_mispredicts_total Mispredictions per predictability class across probed runs.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_bpred_class_mispredicts_total counter\n")
+		for _, c := range classes {
+			fmt.Fprintf(w, "vanguard_bpred_class_mispredicts_total{class=\"%s\"} %d\n", promLabelEscape(c), b.classes[c].Mispredicts)
+		}
+	}
+	if len(tables) > 0 {
+		fmt.Fprintf(w, "# HELP vanguard_bpred_provider_use_total Predictions supplied per predictor table across probed runs.\n")
+		fmt.Fprintf(w, "# TYPE vanguard_bpred_provider_use_total counter\n")
+		for _, tb := range tables {
+			fmt.Fprintf(w, "vanguard_bpred_provider_use_total{table=\"%s\"} %d\n", promLabelEscape(tb), b.providers[tb])
+		}
+	}
+}
+
+// bpredTmpl renders the /debug/bpred panel: the observatory's class and
+// provider rollups in the same dependency-free style as /debug/sweep.
+var bpredTmpl = template.Must(template.New("bpred").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="1">
+<title>vanguard bpred</title>
+<style>
+body { font-family: monospace; margin: 1.5em; background: #fff; color: #111; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.5em; }
+table { border-collapse: collapse; }
+td, th { padding: 0.15em 0.8em 0.15em 0; text-align: left; vertical-align: baseline; }
+.bar { display: inline-block; height: 0.8em; background: #36c; vertical-align: baseline; }
+.num { text-align: right; }
+</style>
+</head>
+<body>
+<h1>vanguard predictor observatory</h1>
+{{if .Studies}}<p>{{.Studies}} probed runs ({{.Predictors}}): {{.Resolves}} resolutions,
+{{.Mispredicts}} mispredicts ({{printf "%.2f%%" .MispPct}}).</p>
+<h2>predictability classes</h2>
+<table>
+<tr><th>class</th><th>branches</th><th></th><th>execs</th><th>mispredicts</th><th>misp rate</th></tr>
+{{range .Classes}}<tr><td>{{.Name}}</td><td class="num">{{.Branches}}</td>
+<td><span class="bar" style="width: {{.Pct}}px"></span></td>
+<td class="num">{{.Execs}}</td><td class="num">{{.Mispredicts}}</td>
+<td class="num">{{printf "%.2f%%" .MispPct}}</td></tr>
+{{end}}</table>
+<h2>provider tables</h2>
+<table>
+<tr><th>table</th><th>predictions supplied</th><th></th></tr>
+{{range .Providers}}<tr><td>{{.Name}}</td><td class="num">{{.Use}}</td>
+<td><span class="bar" style="width: {{.Pct}}px"></span></td></tr>
+{{end}}</table>
+{{else}}<p>(no probed runs yet — run with -bpred-report or -bpred-csv)</p>
+{{end}}<p><a href="/progress">progress JSON</a> · <a href="/metrics">metrics</a> · <a href="/debug/sweep">sweep</a></p>
+</body>
+</html>
+`))
+
+type bpredClassRow struct {
+	Name                         string
+	Branches, Execs, Mispredicts int64
+	MispPct                      float64
+	Pct                          int
+}
+
+type bpredProviderRow struct {
+	Name string
+	Use  int64
+	Pct  int
+}
+
+type bpredPage struct {
+	Studies, Resolves, Mispredicts int64
+	MispPct                        float64
+	Predictors                     string
+	Classes                        []bpredClassRow
+	Providers                      []bpredProviderRow
+}
+
+// bpredDashboard serves /debug/bpred from the live accumulators.
+func (m *Monitor) bpredDashboard(w http.ResponseWriter, _ *http.Request) {
+	b, classes, tables, preds := m.bpredSnapshot()
+	page := bpredPage{Studies: b.studies, Resolves: b.resolves, Mispredicts: b.mispredicts}
+	if b.resolves > 0 {
+		page.MispPct = 100 * float64(b.mispredicts) / float64(b.resolves)
+	}
+	for i, p := range preds {
+		if i > 0 {
+			page.Predictors += ", "
+		}
+		page.Predictors += p
+	}
+	const barPx = 300
+	var maxExecs int64 = 1
+	for _, c := range classes {
+		if e := b.classes[c].Execs; e > maxExecs {
+			maxExecs = e
+		}
+	}
+	for _, c := range classes {
+		ct := b.classes[c]
+		row := bpredClassRow{
+			Name: c, Branches: ct.Branches, Execs: ct.Execs, Mispredicts: ct.Mispredicts,
+			Pct: int(float64(ct.Execs) / float64(maxExecs) * barPx),
+		}
+		if ct.Execs > 0 {
+			row.MispPct = 100 * float64(ct.Mispredicts) / float64(ct.Execs)
+		}
+		page.Classes = append(page.Classes, row)
+	}
+	var maxUse int64 = 1
+	for _, tb := range tables {
+		if u := b.providers[tb]; u > maxUse {
+			maxUse = u
+		}
+	}
+	for _, tb := range tables {
+		page.Providers = append(page.Providers, bpredProviderRow{
+			Name: tb, Use: b.providers[tb],
+			Pct: int(float64(b.providers[tb]) / float64(maxUse) * barPx),
+		})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	bpredTmpl.Execute(w, page)
+}

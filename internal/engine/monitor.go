@@ -45,6 +45,9 @@ type Monitor struct {
 	// the attr cause keys; the map is passed by value semantics only
 	// through Snapshot copies.
 	attrSlots map[string]int64
+	// bpred accumulates the predictor-observatory rollup from probed runs
+	// (ObserveBpred; /metrics vanguard_bpred_* and /debug/bpred).
+	bpred bpredMon
 }
 
 type activeUnit struct {
@@ -356,12 +359,14 @@ func (m *Monitor) Handler() http.Handler {
 				fmt.Fprintf(w, "vanguard_attr_slots_total{cause=\"%s\"} %d\n", promLabelEscape(cause), slots[cause])
 			}
 		}
+		m.writeBpredMetrics(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/debug/sweep", m.sweepDashboard)
+	mux.HandleFunc("/debug/bpred", m.bpredDashboard)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

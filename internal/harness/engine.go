@@ -33,8 +33,10 @@ import (
 // kernels by default and simKey gained the Dispatch field — kernels and
 // switch are proven byte-identical (the kernel-gate differential), but
 // pre-kernel entries must never alias post-kernel ones and the two modes
-// must never alias each other.
-const harnessVersion = "harness/v5"
+// must never alias each other. v6: simKeyMaterial gained the Probe field,
+// so probed runs (whose Stats carry a predictor-observatory study) never
+// alias v5 entries cached without one.
+const harnessVersion = "harness/v6"
 
 // benchJob is one (benchmark, options) experiment. The engine expands it
 // into a build unit (profile, transform, schedule — shared products) plus
@@ -118,11 +120,35 @@ func (j *benchJob) input(i int) (*inputArts, error) {
 	return ia, ia.err
 }
 
-// simKey derives the content key of one simulation unit: everything that
-// determines its Stats — the workload, the TRAIN input the binaries were
-// built from, the transform recipe, the machine overrides, and the
-// predictor. An anonymous predictor (NewPredictor set without
-// PredictorName) makes the unit uncacheable.
+// simKeyMaterial is everything that determines one simulation unit's
+// Stats — the workload, the TRAIN input the binaries were built from, the
+// transform recipe, the machine overrides, and every result-bearing
+// observability switch. The run-cache key audit test
+// (TestRunCacheKeyCoversOptions) reconciles this struct against
+// harness.Options and pipeline.Config field by field, so a new
+// result-affecting option that is not threaded through here fails a test
+// instead of silently aliasing cache entries.
+type simKeyMaterial struct {
+	Config       workload.Config
+	Train        workload.Input
+	Input        workload.Input
+	Width        int
+	Binary       string
+	Predictor    string
+	Core         core.Options
+	Spec         core.SpeculateOptions
+	DBBEntries   int
+	ICacheBytes  int
+	SampleWindow int64
+	Attr         bool
+	Probe        bool
+	Pipeview     bool
+	Dispatch     string
+}
+
+// simKey derives the content key of one simulation unit. An anonymous
+// predictor (NewPredictor set without PredictorName) makes the unit
+// uncacheable.
 func (j *benchJob) simKey(in workload.Input, width int, binary string) string {
 	if j.o.NewPredictor != nil && j.o.PredictorName == "" {
 		return ""
@@ -131,22 +157,14 @@ func (j *benchJob) simKey(in workload.Input, width int, binary string) string {
 	if pred == "" {
 		pred = "default"
 	}
-	return engine.Key(harnessVersion, struct {
-		Config       workload.Config
-		Train        workload.Input
-		Input        workload.Input
-		Width        int
-		Binary       string
-		Predictor    string
-		Core         core.Options
-		Spec         core.SpeculateOptions
-		DBBEntries   int
-		ICacheBytes  int
-		SampleWindow int64
-		Attr         bool
-		Pipeview     bool
-		Dispatch     string
-	}{j.c, j.o.TrainInput, in, width, binary, pred, j.o.Core, j.o.Spec, j.o.DBBEntries, j.o.ICacheBytes, j.o.SampleWindow, j.o.Attr, j.o.PipeviewBench == j.c.Name, j.o.Dispatch.String()})
+	return engine.Key(harnessVersion, simKeyMaterial{
+		Config: j.c, Train: j.o.TrainInput, Input: in,
+		Width: width, Binary: binary, Predictor: pred,
+		Core: j.o.Core, Spec: j.o.Spec,
+		DBBEntries: j.o.DBBEntries, ICacheBytes: j.o.ICacheBytes,
+		SampleWindow: j.o.SampleWindow, Attr: j.o.Attr, Probe: j.o.Probe,
+		Pipeview: j.o.PipeviewBench == j.c.Name, Dispatch: j.o.Dispatch.String(),
+	})
 }
 
 // simImage resolves the patched program image and machine config of one
@@ -339,6 +357,9 @@ func runBenchJobs(jobs []*benchJob, o Options) ([]*BenchResult, error) {
 		for _, st := range results {
 			if st != nil && st.Attr != nil {
 				o.Monitor.ObserveAttr(st.Attr.Slots)
+			}
+			if st != nil && st.Bpred != nil {
+				o.Monitor.ObserveBpred(st.Bpred)
 			}
 		}
 	}

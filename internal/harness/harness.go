@@ -104,6 +104,13 @@ type Options struct {
 	// pipeviewed and plain results never alias, and capture stays cheap by
 	// being scoped to the one benchmark under study.
 	PipeviewBench string
+
+	// Probe enables the predictor observatory on every simulation
+	// (pipeline.Config.Probe): each run's Stats carries a
+	// bpred.StudyReport of table-level predictor usage and the per-branch
+	// predictability classification. Part of the run-cache key: probed and
+	// plain results never alias.
+	Probe bool
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -246,6 +253,7 @@ func (o *Options) machineConfig(width int) pipeline.Config {
 	cfg.NewPredictor = o.predictor
 	cfg.SampleWindow = o.SampleWindow
 	cfg.Attr = o.Attr
+	cfg.Probe = o.Probe
 	cfg.Dispatch = o.Dispatch
 	if o.DBBEntries > 0 {
 		cfg.DBBEntries = o.DBBEntries

@@ -98,6 +98,18 @@ type Config struct {
 	// never steers — enabling it leaves simulated timing unchanged.
 	Pipeview *pipeview.Config
 
+	// Probe enables the predictor observatory: a bpred.Probe attached to
+	// the direction predictor records, in preallocated storage, per-table
+	// provider usage, allocation and aliasing counters, confidence
+	// accounting, and the per-static-branch outcome digest that
+	// classifies every branch as biased / regime-switching /
+	// effectively-random, exported as Stats.Bpred. Off (the default)
+	// constructs no probe: the per-resolution cost is nil checks and the
+	// run's stats and reports are byte-identical to a probe-less build.
+	// The probe observes and never steers — enabling it leaves simulated
+	// timing unchanged.
+	Probe bool
+
 	// debugCheckpoints additionally takes a full register-file snapshot at
 	// every speculation point and cross-checks the undo-journal rewind
 	// against it on squash, panicking on divergence. Test-only (unexported
@@ -199,6 +211,11 @@ type Stats struct {
 	// Pipeview is the per-instruction lifetime capture, nil unless
 	// Config.Pipeview was set.
 	Pipeview *trace.PipeviewReport
+
+	// Bpred is the predictor-observatory study (per-table usage, table
+	// occupancy/aliasing, and the per-branch predictability
+	// classification), nil unless Config.Probe was set.
+	Bpred *bpred.StudyReport
 }
 
 // BranchStats tracks one static (decomposed or plain) branch.

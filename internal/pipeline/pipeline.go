@@ -353,6 +353,13 @@ type Machine struct {
 	fetchStallIsICache bool
 	regWriter          [isa.NumRegs]int32
 
+	// Predictor observatory (nil unless Config.Probe). The probe is
+	// attached to the direction predictor at construction (table-level
+	// event hooks) and fed the committed resolution stream here at
+	// resolve time; it observes and never steers, so simulated timing
+	// and all other stats are unchanged.
+	probe *bpred.Probe
+
 	// Issue-head stall run tracking (feeds the StallRun* histograms).
 	stallCause uint8
 	stallRun   int64
@@ -411,14 +418,20 @@ func newShared(im *ir.Image, m *mem.Memory, cfg Config, pre []predecoded, geom c
 	}
 	mach.st = exec.NewState(sbView{mach}, im.Entry)
 	mach.nextException = cfg.ExceptionEveryN
-	if cfg.Attr {
+	if cfg.Attr || cfg.Probe {
 		maxID := 0
 		for i := range im.Instrs {
 			if id := im.Instrs[i].BranchID; id > maxID {
 				maxID = id
 			}
 		}
-		mach.attr = attr.NewRecorder(len(im.Instrs), maxID, cfg.Width)
+		if cfg.Attr {
+			mach.attr = attr.NewRecorder(len(im.Instrs), maxID, cfg.Width)
+		}
+		if cfg.Probe {
+			mach.probe = bpred.NewProbe(maxID)
+			mach.probe.Attach(mach.pred)
+		}
 	}
 	for r := range mach.regWriter {
 		mach.regWriter[r] = -1
@@ -732,6 +745,9 @@ func (m *Machine) finishStats() {
 	if m.attr != nil {
 		m.stats.Attr = m.attr.Report()
 	}
+	if m.probe != nil {
+		m.stats.Bpred = m.probe.Report(m.pred)
+	}
 	if m.pview != nil {
 		m.pview.Finalize(m.now, m.infLen() == 0)
 		m.stats.Pipeview = m.pview.Report()
@@ -857,6 +873,9 @@ func (m *Machine) resolve() {
 				m.pred.PushHistory(sp.actualTaken)
 			}
 			m.pred.Update(addr, sp.actualTaken, sp.spec.meta)
+			if m.probe != nil {
+				m.probe.ObserveResolve(ins.BranchID, sp.actualTaken, sp.mispredict, &sp.spec.meta)
+			}
 			if sp.actualTaken {
 				m.btb.Insert(addr, ins.Target)
 			}
@@ -872,6 +891,14 @@ func (m *Machine) resolve() {
 					m.pred.PushHistory(sp.actualTaken)
 				}
 				m.pred.Update(e.pc, sp.actualTaken, e.meta)
+				if m.probe != nil {
+					m.probe.ObserveResolve(ins.BranchID, sp.actualTaken, sp.mispredict, &e.meta)
+				}
+			} else if m.probe != nil {
+				// The DBB entry was recycled or invalidated: the update is
+				// suppressed, but the resolution still counts toward the
+				// outcome stream and the conservation books.
+				m.probe.ObserveResolve(ins.BranchID, sp.actualTaken, sp.mispredict, nil)
 			}
 			if sp.mispredict {
 				m.stats.ResMispredicts++

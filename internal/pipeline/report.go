@@ -64,5 +64,6 @@ func (s *Stats) RunReport(label string, width int) *trace.RunReport {
 		Samples:     s.Samples,
 		Attribution: s.Attr,
 		Pipeview:    s.Pipeview,
+		Bpredstudy:  s.Bpred,
 	}
 }

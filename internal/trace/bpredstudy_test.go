@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vanguard/internal/bpred"
+)
+
+// TestReportSchemaV6BpredRoundTrip pins the bpredstudy versioning: a
+// report with any probed run is stamped v6 (winning over every older
+// section), the study — including the per-branch classification — is
+// preserved exactly through a write/read cycle, and the round-tripped
+// study still satisfies its conservation invariant.
+func TestReportSchemaV6BpredRoundTrip(t *testing.T) {
+	study := &bpred.StudyReport{
+		Predictor:   "tage",
+		SizeBits:    1234,
+		Resolves:    10,
+		Updates:     10,
+		Mispredicts: 3,
+		Providers: []bpred.ProviderReport{
+			{Table: "base", Use: 6, Correct: 4, Weak: 1},
+			{Table: "tage1", Use: 4, Correct: 3},
+		},
+		Confidence: bpred.ConfidenceReport{ConfidentCorrect: 6, ConfidentWrong: 3, WeakCorrect: 1},
+		Aliasing:   []bpred.AliasReport{{Name: "base", Entries: 64, Touched: 3, Conflicts: 1, Updates: 10}},
+		Survey:     []bpred.TableSurvey{{Name: "base", Entries: 64, Occupied: 3, Weak: 1}},
+		Branches: []bpred.BranchDigest{
+			{ID: 1, Execs: 7, Taken: 7, Mispredicts: 1, Bias: 1, Entropy: 0, Class: bpred.ClassBiased},
+			{ID: 2, Execs: 3, Taken: 1, Mispredicts: 2, Bias: 2.0 / 3, TransitionRate: 1, Entropy: 0, Class: bpred.ClassRegime},
+		},
+		Classes: map[string]bpred.ClassTotals{
+			bpred.ClassBiased: {Branches: 1, Execs: 7, Mispredicts: 1},
+			bpred.ClassRegime: {Branches: 1, Execs: 3, Mispredicts: 2},
+		},
+	}
+	if err := study.Check(); err != nil {
+		t.Fatalf("fixture fails Check: %v", err)
+	}
+
+	rep := NewReport("vgrun")
+	rep.Benchmarks = append(rep.Benchmarks, &BenchReport{
+		Name: "x",
+		Runs: []*RunReport{{
+			Label: "timing", Width: 4, Counters: map[string]int64{"cycles": 1},
+			Bpredstudy: study,
+		}},
+	})
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema": "`+SchemaV6+`"`) {
+		t.Errorf("probed report not stamped v6:\n%s", buf.String())
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v6 report rejected: %v", err)
+	}
+	got := back.Benchmarks[0].Runs[0].Bpredstudy
+	if got == nil {
+		t.Fatal("bpredstudy lost in round trip")
+	}
+	if !reflect.DeepEqual(got, study) {
+		t.Errorf("bpredstudy changed in round trip:\ngot  %+v\nwant %+v", got, study)
+	}
+	if err := got.Check(); err != nil {
+		t.Errorf("round-tripped study fails its invariant: %v", err)
+	}
+
+	// A probe-off report must not mention the section at all.
+	plain := NewReport("vgrun")
+	plain.Benchmarks = append(plain.Benchmarks, &BenchReport{
+		Name: "x",
+		Runs: []*RunReport{{Label: "timing", Width: 4, Counters: map[string]int64{"cycles": 1}}},
+	})
+	buf.Reset()
+	if err := plain.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "bpredstudy") {
+		t.Errorf("probe-off report mentions bpredstudy:\n%s", buf.String())
+	}
+}
+
+// TestSchemaConstantsAccepted is the rot guard for the schema version
+// set: it parses report.go, enumerates every SchemaVN constant, and
+// requires (a) each declared value to match schemaVersion(N), (b) each
+// to be accepted by ReadReport's derived check, and (c) maxSchemaVersion
+// to equal the highest declared N. Adding a SchemaV7 constant without
+// bumping maxSchemaVersion — the rot this replaces was two hardcoded
+// "v1..v5" sites — fails here instead of silently rejecting new reports.
+func TestSchemaConstantsAccepted(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "report.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`^SchemaV(\d+)$`)
+	found := map[int]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				m := re.FindStringSubmatch(name.Name)
+				if m == nil || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Errorf("%s is not a string literal", name.Name)
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("%s: %v", name.Name, err)
+				}
+				n, _ := strconv.Atoi(m[1])
+				found[n] = val
+			}
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("no SchemaVN constants found in report.go")
+	}
+	max := 0
+	for n, val := range found {
+		if want := schemaVersion(n); val != want {
+			t.Errorf("SchemaV%d = %q, want %q", n, val, want)
+		}
+		if !schemaAccepted(val) {
+			t.Errorf("SchemaV%d (%q) declared but not accepted by ReadReport — bump maxSchemaVersion", n, val)
+		}
+		if _, err := ReadReport(strings.NewReader(`{"schema":"` + val + `"}`)); err != nil {
+			t.Errorf("ReadReport rejects declared schema %q: %v", val, err)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max != maxSchemaVersion {
+		t.Errorf("maxSchemaVersion = %d but the highest declared constant is SchemaV%d", maxSchemaVersion, max)
+	}
+	// The error message must advertise the derived range, not a stale one.
+	e := &SchemaError{Got: "bogus"}
+	if want := schemaVersion(maxSchemaVersion); !strings.Contains(e.Error(), want) {
+		t.Errorf("SchemaError %q does not mention the newest accepted version %q", e.Error(), want)
+	}
+}

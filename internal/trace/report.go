@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"strconv"
 
 	"vanguard/internal/attr"
+	"vanguard/internal/bpred"
 	"vanguard/internal/sample"
 )
 
@@ -19,17 +21,42 @@ import (
 // (per-cause issue-slot accounting). SchemaV4 adds the optional per-run
 // `pipeview` section (per-instruction lifetime records and squash
 // genealogy). SchemaV5 adds the optional per-report `sweep` section (the
-// engine flight recording). A report is stamped with the highest version
-// whose section it actually carries, so sampling-off / attribution-off /
-// pipeview-off / recorder-off output is bit-identical to v1 and older
-// consumers are unaffected unless they opt in.
+// engine flight recording). SchemaV6 adds the optional per-run
+// `bpredstudy` section (the predictor observatory: table-level usage and
+// the per-branch predictability classification). A report is stamped
+// with the highest version whose section it actually carries, so
+// sampling-off / attribution-off / pipeview-off / recorder-off /
+// probe-off output is bit-identical to v1 and older consumers are
+// unaffected unless they opt in.
 const (
 	SchemaV1 = "vanguard-telemetry/v1"
 	SchemaV2 = "vanguard-telemetry/v2"
 	SchemaV3 = "vanguard-telemetry/v3"
 	SchemaV4 = "vanguard-telemetry/v4"
 	SchemaV5 = "vanguard-telemetry/v5"
+	SchemaV6 = "vanguard-telemetry/v6"
 )
+
+// maxSchemaVersion is the single source of truth for the newest schema
+// revision: the accepted-version set in ReadReport and the range printed
+// by SchemaError are both derived from it through schemaVersion, so
+// adding a SchemaVN constant without bumping this is caught by
+// TestSchemaConstantsAccepted rather than silently rejecting new
+// reports.
+const maxSchemaVersion = 6
+
+// schemaVersion renders revision n as its wire tag ("vanguard-telemetry/vN").
+func schemaVersion(n int) string { return "vanguard-telemetry/v" + strconv.Itoa(n) }
+
+// schemaAccepted reports whether tag is a known schema revision.
+func schemaAccepted(tag string) bool {
+	for n := 1; n <= maxSchemaVersion; n++ {
+		if tag == schemaVersion(n) {
+			return true
+		}
+	}
+	return false
+}
 
 // Schema is the base (v1) schema tag new reports start from.
 const Schema = SchemaV1
@@ -132,6 +159,11 @@ type RunReport struct {
 	// the run recorded a pipeline waterfall (-pipeview); its presence
 	// bumps the report to v4.
 	Pipeview *PipeviewReport `json:"pipeview,omitempty"`
+	// Bpredstudy is the predictor observatory (per-table provider usage,
+	// occupancy/aliasing, and the per-branch predictability
+	// classification), present only when the run probed its predictor
+	// (-bpred-report/-bpred-csv); its presence bumps the report to v6.
+	Bpredstudy *bpred.StudyReport `json:"bpredstudy,omitempty"`
 }
 
 // AblationReport is one sweep of a design parameter.
@@ -182,12 +214,27 @@ func (r *Report) pipeviewed() bool {
 	return false
 }
 
+// bpredstudied reports whether any run carries a bpredstudy section.
+func (r *Report) bpredstudied() bool {
+	for _, b := range r.Benchmarks {
+		for _, run := range b.Runs {
+			if run.Bpredstudy != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Write renders the report as indented JSON, stamping the highest schema
-// tag whose optional section is present (v5 sweep over v4 pipeview over
-// v3 attribution over v2 samples; a plain report stays v1).
+// tag whose optional section is present (v6 bpredstudy over v5 sweep
+// over v4 pipeview over v3 attribution over v2 samples; a plain report
+// stays v1).
 func (r *Report) Write(w io.Writer) error {
 	if r.Schema == SchemaV1 {
 		switch {
+		case r.bpredstudied():
+			r.Schema = SchemaV6
 		case r.Sweep != nil:
 			r.Schema = SchemaV5
 		case r.pipeviewed():
@@ -222,9 +269,7 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, err
 	}
-	switch r.Schema {
-	case SchemaV1, SchemaV2, SchemaV3, SchemaV4, SchemaV5:
-	default:
+	if !schemaAccepted(r.Schema) {
 		return nil, &SchemaError{Got: r.Schema}
 	}
 	return &r, nil
@@ -234,5 +279,5 @@ func ReadReport(rd io.Reader) (*Report, error) {
 type SchemaError struct{ Got string }
 
 func (e *SchemaError) Error() string {
-	return "trace: report schema " + e.Got + " (want " + SchemaV1 + ".." + SchemaV5 + ")"
+	return "trace: report schema " + e.Got + " (want " + schemaVersion(1) + ".." + schemaVersion(maxSchemaVersion) + ")"
 }
